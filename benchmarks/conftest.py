@@ -1,0 +1,29 @@
+"""Benchmark-suite fixtures.
+
+Expensive artefacts (quality-record sweeps, fitted predictors) are cached
+at session scope so the individual table/figure benchmarks stay quick.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import bench_records, fit_predictor  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def mixed_records():
+    """Quality records over CESM + Miranda + Nyx (the main training pool)."""
+    return bench_records(["cesm", "miranda", "nyx"], snapshots=1, max_fields=6)
+
+
+@pytest.fixture(scope="session")
+def mixed_predictor(mixed_records):
+    """Predictor trained on 30% of the mixed records plus its test split."""
+    predictor, test = fit_predictor(mixed_records, train_fraction=0.3, seed=0)
+    return predictor, test

@@ -1,0 +1,65 @@
+"""Fig. 12 — distribution of compression time and ratio prediction errors.
+
+The paper reports that 80 % of prediction errors fall in a narrow band
+around zero for Nyx / CESM / Miranda.  This benchmark trains on 30 % of
+the files and reports the 80 % confidence interval of the prediction
+error on the remaining 70 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import prediction_error_interval
+
+from common import print_table
+
+
+def _evaluate(mixed_predictor):
+    predictor, test = mixed_predictor
+    ratio_true, ratio_pred, time_true, time_pred = [], [], [], []
+    for record in test:
+        prediction = predictor.predict_from_features(
+            record.features, record.error_bound_abs, record.compressor
+        )
+        ratio_true.append(record.compression_ratio)
+        ratio_pred.append(prediction.compression_ratio)
+        time_true.append(record.compression_time_s)
+        time_pred.append(prediction.compression_time_s)
+    ratio_low, ratio_high = prediction_error_interval(ratio_true, ratio_pred, confidence=0.8)
+    time_low, time_high = prediction_error_interval(time_true, time_pred, confidence=0.8)
+    rows = [
+        {
+            "target": "compression ratio",
+            "mean_true": float(np.mean(ratio_true)),
+            "ci80_low": ratio_low,
+            "ci80_high": ratio_high,
+            "test_samples": len(ratio_true),
+        },
+        {
+            "target": "compression time (s)",
+            "mean_true": float(np.mean(time_true)),
+            "ci80_low": time_low,
+            "ci80_high": time_high,
+            "test_samples": len(time_true),
+        },
+    ]
+    return rows
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_prediction_error_distribution(benchmark, mixed_predictor):
+    rows = benchmark.pedantic(_evaluate, args=(mixed_predictor,), rounds=1, iterations=1)
+    print_table("Fig. 12: 80% confidence interval of prediction errors", rows)
+    ratio_row = rows[0]
+    time_row = rows[1]
+    # The 80% band is narrow relative to the magnitude of the predicted value.
+    ratio_width = ratio_row["ci80_high"] - ratio_row["ci80_low"]
+    assert ratio_width < 1.5 * ratio_row["mean_true"]
+    # Compression times at benchmark scale are a few milliseconds, so the
+    # relative band is wider than the paper's (absolute errors remain tiny).
+    time_width = time_row["ci80_high"] - time_row["ci80_low"]
+    assert time_width < 5.0 * max(time_row["mean_true"], 1e-6)
+    # The band brackets zero (errors are centred, not biased).
+    assert ratio_row["ci80_low"] <= 0.0 <= ratio_row["ci80_high"] or ratio_width < 0.5 * ratio_row["mean_true"]

@@ -1,0 +1,77 @@
+"""Fig. 13 — (A) prediction overhead vs sampling rate; (B) per-application
+compression-time ranges.
+
+Sampling ~1 % of the data keeps the feature-extraction overhead to a few
+percent of the compression time (the paper reports 1.7 %); compression
+times cluster tightly within an application because all its files share
+dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import ErrorBound, create_compressor
+from repro.features import FeatureExtractor
+from repro.datasets import generate_field
+
+from common import bench_records, print_table
+
+
+def _overhead_sweep():
+    field = generate_field("nyx", "baryon_density", scale=0.08, seed=2)
+    compressor = create_compressor("sz3-fast")
+    result = compressor.compress(field.data, ErrorBound.relative(1e-3))
+    compression_time = result.stats.compression_time_s
+    rows = []
+    for fraction in (1.0, 0.1, 0.01):
+        extractor = FeatureExtractor(sample_fraction=fraction)
+        extraction = extractor.extract(field.data, 1e-3 * float(np.ptp(field.data)))
+        rows.append(
+            {
+                "sampling": f"{fraction:g}",
+                "extraction_time_s": extraction.extraction_time_s,
+                "compression_time_s": compression_time,
+                "overhead_pct": 100.0 * extraction.extraction_time_s / compression_time,
+                "sample_points": extraction.sample_size,
+            }
+        )
+    return rows
+
+
+def _per_app_ranges():
+    rows = []
+    for app in ("cesm", "miranda", "nyx"):
+        records = bench_records([app], snapshots=1, max_fields=5, error_bounds=(1e-3,))
+        times = [r.compression_time_s for r in records]
+        rows.append(
+            {
+                "application": app,
+                "min_time_s": min(times),
+                "max_time_s": max(times),
+                "mean_time_s": float(np.mean(times)),
+                "spread": max(times) / max(min(times), 1e-9),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13a_prediction_overhead(benchmark):
+    rows = benchmark.pedantic(_overhead_sweep, rounds=1, iterations=1)
+    print_table("Fig. 13 (A): feature-extraction overhead vs sampling rate", rows)
+    by_fraction = {row["sampling"]: row for row in rows}
+    # Subsampling reduces the overhead dramatically; at 1% sampling the
+    # overhead is a small fraction of the compression time.
+    assert by_fraction["0.01"]["extraction_time_s"] < by_fraction["1"]["extraction_time_s"]
+    assert by_fraction["0.01"]["overhead_pct"] < 30.0
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13b_compression_time_ranges_per_application(benchmark):
+    rows = benchmark.pedantic(_per_app_ranges, rounds=1, iterations=1)
+    print_table("Fig. 13 (B): compression time ranges per application", rows)
+    # Files of the same application (same dimensions) have similar times.
+    for row in rows:
+        assert row["spread"] < 8.0

@@ -1,0 +1,53 @@
+"""Fig. 14 — RTM compression time vs compressor-level features.
+
+The compressor-level features computed on a 1 % sample correlate with
+how much work the compressor ends up doing (the quantisation-bin
+distribution determines the entropy-coding effort and the output size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import bench_records, pearson, print_table
+
+
+def _collect():
+    records = bench_records(["rtm"], snapshots=12, error_bounds=(1e-4,), seed=3)
+    rows = [
+        {
+            "snapshot": r.snapshot,
+            "p0": r.features["p0"],
+            "quant_entropy": r.features["quantization_entropy"],
+            "Rrle": r.features["run_length_estimator"],
+            "compression_time_s": r.compression_time_s,
+            "compression_ratio": r.compression_ratio,
+        }
+        for r in records
+    ]
+    ratios = [r.compression_ratio for r in records]
+    correlations = {
+        "quant_entropy_vs_ratio": pearson(
+            [r.features["quantization_entropy"] for r in records], ratios
+        ),
+        "p0_vs_ratio": pearson([r.features["p0"] for r in records], ratios),
+        "quant_entropy_vs_time": pearson(
+            [r.features["quantization_entropy"] for r in records],
+            [r.compression_time_s for r in records],
+        ),
+    }
+    return rows, correlations
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_rtm_compression_cost_vs_features(benchmark):
+    rows, correlations = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    print_table("Fig. 14: RTM compression cost vs compressor-level features", rows)
+    print_table(
+        "Fig. 14: correlations",
+        [{"relation": k, "pearson_r": v} for k, v in correlations.items()],
+    )
+    # The quantisation-bin features explain the per-snapshot compression
+    # difficulty: lower entropy / higher p0 means more compressible.
+    assert correlations["quant_entropy_vs_ratio"] < -0.5
+    assert correlations["p0_vs_ratio"] > 0.5

@@ -1,0 +1,59 @@
+"""Fig. 15 — reconstructed data quality at the selected error bounds.
+
+The paper visualises three CESM fields (CLDMED, TMQ, TROP_Z) after
+compression at the Table VI settings and notes no visible difference for
+PSNR above ~50 dB.  This benchmark reproduces the quantitative side:
+PSNR above the visual-difference threshold and tiny normalised errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import ErrorBound, create_compressor
+from repro.datasets import generate_field
+from repro.utils.stats import normalized_rmse, psnr
+
+from common import print_table
+
+FIELDS = [
+    ("CLDMED", 1e-3),
+    ("TMQ", 1e-3),
+    ("TROP_Z", 1e-3),
+]
+
+
+def _measure():
+    compressor = create_compressor("sz3")
+    rows = []
+    for field_name, eb in FIELDS:
+        field = generate_field("cesm", field_name, scale=0.08, seed=4)
+        result = compressor.compress(field.data, ErrorBound.relative(eb))
+        recon = compressor.decompress(result.blob)
+        rows.append(
+            {
+                "field": field_name,
+                "eb": eb,
+                "PSNR_dB": psnr(field.data, recon),
+                "NRMSE": normalized_rmse(field.data, recon),
+                "max_rel_err": float(
+                    np.max(np.abs(recon.astype(np.float64) - field.data))
+                    / np.ptp(field.data.astype(np.float64))
+                ),
+                "compression_ratio": result.compression_ratio,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_reconstruction_visual_quality(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_table("Fig. 15: reconstruction quality of CESM fields", rows)
+    for row in rows:
+        # Above the paper's "no visible difference" threshold.
+        assert row["PSNR_dB"] > 50.0
+        # Point-wise errors bounded by the requested relative bound.
+        assert row["max_rel_err"] <= row["eb"] * 1.01
+        assert row["NRMSE"] < row["eb"]

@@ -1,0 +1,49 @@
+"""Fig. 5 — compressor-based features vs compression ratio (Nyx).
+
+p0 and the run-length estimator correlate positively with the achieved
+compression ratio, while the quantisation entropy correlates negatively;
+these relationships are what the quality model learns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import bench_records, pearson, print_table
+
+
+def _collect():
+    records = bench_records(["nyx"], snapshots=1, error_bounds=(1e-5, 1e-4, 1e-3, 1e-2, 1e-1))
+    rows = [
+        {
+            "field": r.field_name,
+            "eb": r.error_bound_label,
+            "p0": r.features["p0"],
+            "quant_entropy": r.features["quantization_entropy"],
+            "Rrle": r.features["run_length_estimator"],
+            "CR": r.compression_ratio,
+        }
+        for r in records
+    ]
+    ratios = [r.compression_ratio for r in records]
+    correlations = {
+        "p0_vs_CR": pearson([r.features["p0"] for r in records], ratios),
+        "quant_entropy_vs_CR": pearson(
+            [r.features["quantization_entropy"] for r in records], ratios
+        ),
+        "Rrle_vs_CR": pearson([r.features["run_length_estimator"] for r in records], ratios),
+    }
+    return rows, correlations
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_compressor_features_vs_ratio(benchmark):
+    rows, correlations = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    print_table("Fig. 5: compressor-based features vs compression ratio (Nyx)", rows)
+    print_table(
+        "Fig. 5: correlations",
+        [{"relation": k, "pearson_r": v} for k, v in correlations.items()],
+    )
+    assert correlations["p0_vs_CR"] > 0.4
+    assert correlations["Rrle_vs_CR"] > 0.4
+    assert correlations["quant_entropy_vs_CR"] < -0.4

@@ -1,0 +1,60 @@
+"""Fig. 6 — the C1 closed-form ratio estimator vs the learned model (Miranda).
+
+The paper shows that the prior-work estimator (with a single tuned C1)
+fits Nyx well but fails on Miranda, whereas feeding the same features to
+a learned model stays accurate.  This benchmark fits C1 on Nyx, applies
+it to Miranda, and compares against the decision-tree model trained on a
+mixed pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import root_mean_squared_error
+from repro.prediction import C1BaselineEstimator
+
+from common import bench_records, fit_predictor, print_table
+
+
+def _evaluate():
+    nyx_records = bench_records(["nyx"], snapshots=1)
+    miranda_records = bench_records(["miranda"], snapshots=1)
+    # C1 tuned on Nyx (where the closed form works well).
+    baseline = C1BaselineEstimator().fit(nyx_records)
+    nyx_rmse_baseline = root_mean_squared_error(
+        [r.compression_ratio for r in nyx_records], baseline.predict(nyx_records)
+    )
+    miranda_rmse_baseline = root_mean_squared_error(
+        [r.compression_ratio for r in miranda_records], baseline.predict(miranda_records)
+    )
+    # Learned model trained on a mixed pool including Miranda files.
+    predictor, _ = fit_predictor(nyx_records + miranda_records, train_fraction=0.4, seed=1)
+    miranda_pred = [
+        predictor.predict_from_features(r.features, r.error_bound_abs, r.compressor).compression_ratio
+        for r in miranda_records
+    ]
+    miranda_rmse_model = root_mean_squared_error(
+        [r.compression_ratio for r in miranda_records], miranda_pred
+    )
+    rows = [
+        {"estimator": "C1 closed form (fit on Nyx)", "dataset": "nyx",
+         "ratio_rmse": nyx_rmse_baseline,
+         "mean_CR": float(np.mean([r.compression_ratio for r in nyx_records]))},
+        {"estimator": "C1 closed form (fit on Nyx)", "dataset": "miranda",
+         "ratio_rmse": miranda_rmse_baseline,
+         "mean_CR": float(np.mean([r.compression_ratio for r in miranda_records]))},
+        {"estimator": "decision tree (11 features)", "dataset": "miranda",
+         "ratio_rmse": miranda_rmse_model,
+         "mean_CR": float(np.mean([r.compression_ratio for r in miranda_records]))},
+    ]
+    return rows, miranda_rmse_baseline, miranda_rmse_model
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_c1_baseline_vs_learned_model(benchmark):
+    rows, baseline_rmse, model_rmse = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print_table("Fig. 6: ratio estimation on Miranda — C1 baseline vs learned model", rows)
+    # The learned model transfers to Miranda better than the Nyx-tuned C1 formula.
+    assert model_rmse < baseline_rmse

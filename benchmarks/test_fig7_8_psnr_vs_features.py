@@ -1,0 +1,55 @@
+"""Figs. 7 & 8 — PSNR vs compressor-level features (CESM and ISABEL).
+
+The compressor-based features (p0, quantisation entropy) correlate with
+the reconstructed-data distortion, which is why the same feature set can
+also predict PSNR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import bench_records, pearson, print_table
+
+
+def _collect(app):
+    records = [
+        r
+        for r in bench_records([app], snapshots=1, max_fields=8)
+        if r.psnr_db is not None and r.psnr_db < 1e6
+    ]
+    rows = [
+        {
+            "field": r.field_name,
+            "eb": r.error_bound_label,
+            "p0": r.features["p0"],
+            "quant_entropy": r.features["quantization_entropy"],
+            "P0": r.features["P0"],
+            "psnr_db": r.psnr_db,
+        }
+        for r in records
+    ]
+    psnr = [r.psnr_db for r in records]
+    correlations = {
+        "p0_vs_PSNR": pearson([r.features["p0"] for r in records], psnr),
+        "quant_entropy_vs_PSNR": pearson(
+            [r.features["quantization_entropy"] for r in records], psnr
+        ),
+    }
+    return rows, correlations
+
+
+@pytest.mark.benchmark(group="fig7-8")
+@pytest.mark.parametrize("app,figure", [("cesm", "Fig. 7"), ("isabel", "Fig. 8")])
+def test_fig7_8_psnr_vs_compressor_features(benchmark, app, figure):
+    rows, correlations = benchmark.pedantic(_collect, args=(app,), rounds=1, iterations=1)
+    print_table(f"{figure}: PSNR vs compressor-level features ({app.upper()})", rows)
+    print_table(
+        f"{figure}: correlations",
+        [{"relation": k, "pearson_r": v} for k, v in correlations.items()],
+    )
+    # Larger error bounds push more bins to zero and lower PSNR, so p0 is
+    # negatively correlated with PSNR while quantisation entropy is
+    # positively correlated (more distinct bins ⇒ tighter bound ⇒ higher PSNR).
+    assert correlations["p0_vs_PSNR"] < -0.3
+    assert correlations["quant_entropy_vs_PSNR"] > 0.3

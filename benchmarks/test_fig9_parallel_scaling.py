@@ -1,0 +1,65 @@
+"""Fig. 9 — parallel compression / decompression time vs node count.
+
+Compression time falls with more nodes until the file count saturates the
+parallelism; decompression degrades beyond a few nodes because of
+parallel-filesystem write contention (the paper measured this on Purdue
+Anvil with 128-core nodes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParallelExecutor
+
+from common import print_table
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+FILES = 768                 # the Miranda subset used by the paper
+PER_FILE_COMPRESS_S = 9.0   # ~one 86 MB file at ~10 MB/s/core equivalent
+PER_FILE_DECOMPRESS_S = 4.0
+PER_FILE_COMPRESSED_BYTES = 20 * 10**6
+PER_FILE_RAW_BYTES = 150 * 10**6
+
+
+def _scaling():
+    executor = ParallelExecutor()
+    rows = []
+    for nodes in NODE_COUNTS:
+        comp = executor.compression_makespan(
+            [PER_FILE_COMPRESS_S] * FILES,
+            [PER_FILE_COMPRESSED_BYTES] * FILES,
+            nodes=nodes,
+            cores_per_node=128,
+        )
+        decomp = executor.decompression_makespan(
+            [PER_FILE_DECOMPRESS_S] * FILES,
+            [PER_FILE_RAW_BYTES] * FILES,
+            nodes=nodes,
+            cores_per_node=128,
+        )
+        rows.append(
+            {
+                "nodes": nodes,
+                "compression_time_s": comp.makespan_s,
+                "decompression_time_s": decomp.makespan_s,
+                "compression_io_s": comp.io_s,
+                "decompression_io_s": decomp.io_s,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_parallel_compression_and_decompression_scaling(benchmark):
+    rows = benchmark.pedantic(_scaling, rounds=1, iterations=1)
+    print_table("Fig. 9: parallel (de)compression time vs node count", rows)
+    comp_times = [r["compression_time_s"] for r in rows]
+    decomp_times = [r["decompression_time_s"] for r in rows]
+    # Left panel: compression keeps improving with more nodes (until saturation).
+    assert comp_times[0] > comp_times[1] > comp_times[2]
+    assert comp_times[-1] <= comp_times[2]
+    # Right panel: decompression is best at a small node count and degrades
+    # with many nodes because of I/O contention.
+    assert min(decomp_times) == min(decomp_times[:3])
+    assert decomp_times[-1] > min(decomp_times) * 1.2

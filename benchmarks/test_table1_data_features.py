@@ -1,0 +1,59 @@
+"""Table I — basic data-based features (min / max / value range) per field.
+
+Regenerates the per-field statistics the paper lists for CESM and HACC
+fields; the synthetic generators are parameterised with the published
+value ranges, so the table should match Table I closely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_field
+from repro.features import extract_data_features
+
+from common import print_table
+
+#: (application, field, expected min, expected max) from Table I.
+TABLE1_ROWS = [
+    ("cesm", "CLDHGH", 0.00, 0.92),
+    ("cesm", "FLDSC", 92.84, 418.24),
+    ("cesm", "PCONVT", 39025.27, 103207.45),
+    ("hacc", "vx", -3846.21, 4031.25),
+    ("hacc", "xx", 0.00, 256.00),
+]
+
+
+def _build_table():
+    rows = []
+    for app, field_name, expected_min, expected_max in TABLE1_ROWS:
+        field = generate_field(app, field_name, scale=0.02, seed=1)
+        feats = extract_data_features(field.data)
+        rows.append(
+            {
+                "dataset": f"{app.upper()}-{field_name}",
+                "min": feats.minimum,
+                "max": feats.maximum,
+                "value_range": feats.value_range,
+                "paper_min": expected_min,
+                "paper_max": expected_max,
+                "byte_entropy": feats.byte_entropy,
+                "mean_lorenzo_error": feats.mean_lorenzo_error,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_data_based_features(benchmark):
+    rows = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    print_table("Table I: basic data-based features", rows)
+    by_name = {row["dataset"]: row for row in rows}
+    # The synthetic fields are rescaled onto the published ranges.
+    assert by_name["CESM-CLDHGH"]["value_range"] == pytest.approx(0.92, rel=1e-3)
+    assert by_name["CESM-FLDSC"]["value_range"] == pytest.approx(325.40, rel=1e-3)
+    assert by_name["HACC-vx"]["value_range"] == pytest.approx(7877.46, rel=1e-3)
+    # Different fields of the same application have very different ranges —
+    # the observation motivating per-field data-based features.
+    ranges = [row["value_range"] for row in rows[:3]]
+    assert max(ranges) / min(ranges) > 1000

@@ -1,0 +1,58 @@
+"""Table V — predicted vs real compression ratio and time examples.
+
+For held-out files across Nyx / CESM / Miranda, print P-CR vs CR and
+P-CPTime vs CPTime at several error bounds (the paper's Table V rows) and
+check the aggregate relative errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import print_table
+
+
+def _rows(mixed_predictor):
+    predictor, test = mixed_predictor
+    rows = []
+    for record in test:
+        prediction = predictor.predict_from_features(
+            record.features, record.error_bound_abs, record.compressor
+        )
+        rows.append(
+            {
+                "dataset": f"{record.application}/{record.field_name}",
+                "eb": record.error_bound_label,
+                "P-CR": prediction.compression_ratio,
+                "CR": record.compression_ratio,
+                "P-CPTime_s": prediction.compression_time_s,
+                "CPTime_s": record.compression_time_s,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_ratio_and_time_prediction_examples(benchmark, mixed_predictor):
+    rows = benchmark.pedantic(_rows, args=(mixed_predictor,), rounds=1, iterations=1)
+    print_table("Table V: compression ratio / time prediction examples", rows[:24])
+    ratio_rel_err = np.array(
+        [abs(r["P-CR"] - r["CR"]) / max(r["CR"], 1e-9) for r in rows]
+    )
+    time_rel_err = np.array(
+        [abs(r["P-CPTime_s"] - r["CPTime_s"]) / max(r["CPTime_s"], 1e-9) for r in rows]
+    )
+    print_table(
+        "Table V: aggregate relative errors",
+        [
+            {"target": "ratio", "median_rel_err": float(np.median(ratio_rel_err)),
+             "mean_rel_err": float(np.mean(ratio_rel_err))},
+            {"target": "time", "median_rel_err": float(np.median(time_rel_err)),
+             "mean_rel_err": float(np.mean(time_rel_err))},
+        ],
+    )
+    # The paper's predictions are usually within a few percent; our synthetic
+    # setting is noisier but the typical (median) error stays moderate.
+    assert float(np.median(ratio_rel_err)) < 0.5
+    assert float(np.median(time_rel_err)) < 0.8

@@ -1,0 +1,61 @@
+"""Quality-prediction-driven configuration tuning.
+
+Capability 1 of the paper: before moving data, train the quality
+predictor on a sample of the application's files, sweep candidate error
+bounds, and let Ocelot pick the most aggressive configuration that still
+meets the user's PSNR requirement.
+
+Run with::
+
+    python examples/quality_prediction_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import Ocelot, OcelotConfig
+from repro.compression import ErrorBound, create_compressor
+from repro.datasets import generate_application
+
+CANDIDATE_BOUNDS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+PSNR_REQUIREMENT = 70.0
+
+
+def main() -> None:
+    dataset = generate_application("isabel", snapshots=1, scale=0.05, seed=3)
+    config = OcelotConfig(
+        compressor="sz3-fast",
+        use_prediction=True,
+        candidate_error_bounds=CANDIDATE_BOUNDS,
+        min_psnr_db=PSNR_REQUIREMENT,
+        sentinel_enabled=False,
+    )
+    ocelot = Ocelot(config)
+
+    # Train on a third of the files (the paper trains on 30-50%).
+    train_fields = dataset.fields[: max(3, dataset.file_count // 3)]
+    ocelot.train_predictor(train_fields, error_bounds=CANDIDATE_BOUNDS)
+
+    target = dataset.fields[-1]
+    print(f"candidate configurations for ISABEL/{target.name} "
+          f"(requirement: PSNR >= {PSNR_REQUIREMENT} dB)")
+    print(f"{'rel bound':>10s} {'pred ratio':>11s} {'pred PSNR':>10s}")
+    for prediction in ocelot.predict_quality(target.data, error_bounds=CANDIDATE_BOUNDS):
+        rel = prediction.error_bound_abs / float(target.data.max() - target.data.min())
+        print(f"{rel:10.1e} {prediction.compression_ratio:11.2f} {prediction.psnr_db:10.1f}")
+
+    choice = ocelot.recommend_configuration(target.data)
+    rel_choice = choice.error_bound_abs / float(target.data.max() - target.data.min())
+    print(f"\nselected: rel bound ~{rel_choice:.1e} "
+          f"(predicted ratio {choice.compression_ratio:.1f}x, PSNR {choice.psnr_db:.1f} dB)")
+
+    # Verify the recommendation by actually compressing.
+    compressor = create_compressor(config.compressor)
+    result = compressor.compress(
+        target.data, ErrorBound.absolute(choice.error_bound_abs), collect_quality=True
+    )
+    print(f"measured: ratio {result.compression_ratio:.1f}x, PSNR {result.stats.psnr_db:.1f} dB "
+          f"(requirement {'met' if result.stats.psnr_db >= PSNR_REQUIREMENT else 'NOT met'})")
+
+
+if __name__ == "__main__":
+    main()

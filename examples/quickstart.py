@@ -1,0 +1,55 @@
+"""Quickstart: compress a scientific field and run a compressed transfer.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Ocelot, OcelotConfig
+from repro.compression import ErrorBound, create_compressor
+from repro.datasets import generate_application, generate_field
+from repro.utils.sizes import format_bytes, format_duration
+
+
+def compress_one_field() -> None:
+    """Compress a single CESM field with SZ3 at a relative 1e-3 bound."""
+    field = generate_field("cesm", "CLDHGH", scale=0.08, seed=0)
+    compressor = create_compressor("sz3")
+    result = compressor.compress(field.data, ErrorBound.relative(1e-3), collect_quality=True)
+    print("--- single-field compression ---")
+    print(f"field:  cesm/CLDHGH {field.shape}")
+    print(
+        f"size:   {format_bytes(result.stats.original_bytes)} -> "
+        f"{format_bytes(result.stats.compressed_bytes)} "
+        f"({result.compression_ratio:.1f}x)"
+    )
+    print(f"PSNR:   {result.stats.psnr_db:.1f} dB, max error {result.stats.max_abs_error:.2e}")
+    print(f"time:   {format_duration(result.stats.compression_time_s)}")
+
+
+def transfer_a_dataset() -> None:
+    """Run direct vs compressed-and-grouped transfers on the simulated testbed."""
+    dataset = generate_application("cesm", snapshots=2, scale=0.04, seed=1)
+    config = OcelotConfig(
+        error_bound=1e-2,
+        compressor="sz3-fast",
+        # Stage the files at ~paper-scale sizes so the WAN numbers are meaningful.
+        size_scale=50_000.0,
+        assumed_compression_throughput_mbps=300.0,
+        assumed_decompression_throughput_mbps=500.0,
+        group_world_size=4,
+        sentinel_enabled=False,
+    )
+    ocelot = Ocelot(config)
+    comparison = ocelot.compare_modes(dataset, "anvil", "bebop", modes=("direct", "grouped"))
+    print("\n--- dataset transfer: Anvil -> Bebop ---")
+    for mode, report in comparison.reports.items():
+        print(report.summary())
+        print()
+
+
+if __name__ == "__main__":
+    compress_one_field()
+    transfer_a_dataset()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .`` with build isolation)
+cannot build editable wheels.  This shim enables the legacy
+``setup.py develop`` editable path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

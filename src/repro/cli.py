@@ -1,0 +1,210 @@
+"""Command-line interface for the Ocelot reproduction.
+
+Subcommands mirror the user-facing capabilities of the paper:
+
+* ``ocelot info`` — list available compressors, applications and endpoints.
+* ``ocelot predict`` — train the quality predictor on synthetic data and
+  print predicted vs measured ratio/time/PSNR for a field.
+* ``ocelot compress`` — compress a generated field (or a ``.npy`` file)
+  and report ratio, timing and quality.
+* ``ocelot transfer`` — run an end-to-end simulated transfer and print
+  the Table VIII-style comparison of direct / compressed / grouped modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .compression import ErrorBound, available_compressors, create_compressor
+from .core import Ocelot, OcelotConfig
+from .datasets import application_names, generate_application, generate_field
+from .prediction import build_training_records, train_test_split_records, QualityPredictor
+from .utils.sizes import format_bytes, format_duration
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``ocelot`` command."""
+    parser = argparse.ArgumentParser(
+        prog="ocelot",
+        description="Error-bounded lossy compression for wide-area scientific data transfer",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list compressors, applications and endpoints")
+
+    predict = sub.add_parser("predict", help="train and evaluate the quality predictor")
+    predict.add_argument("--application", default="cesm", choices=application_names())
+    predict.add_argument("--compressor", default="sz3", choices=available_compressors())
+    predict.add_argument("--scale", type=float, default=0.05)
+    predict.add_argument("--snapshots", type=int, default=1)
+    predict.add_argument("--train-fraction", type=float, default=0.3)
+    predict.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    compress = sub.add_parser("compress", help="compress one field and report quality")
+    compress.add_argument("--application", default="cesm", choices=application_names())
+    compress.add_argument("--field", default=None, help="field name (default: first field)")
+    compress.add_argument("--input", default=None, help="path to a .npy array to compress instead")
+    compress.add_argument("--compressor", default="sz3", choices=available_compressors())
+    compress.add_argument("--error-bound", type=float, default=1e-3)
+    compress.add_argument("--mode", default="rel", choices=["rel", "abs"])
+    compress.add_argument("--scale", type=float, default=0.08)
+    compress.add_argument("--json", action="store_true")
+
+    transfer = sub.add_parser("transfer", help="simulate an end-to-end dataset transfer")
+    transfer.add_argument("--application", default="cesm", choices=application_names())
+    transfer.add_argument("--source", default="anvil")
+    transfer.add_argument("--destination", default="cori")
+    transfer.add_argument("--snapshots", type=int, default=2)
+    transfer.add_argument("--scale", type=float, default=0.04)
+    transfer.add_argument("--size-scale", type=float, default=1.0)
+    transfer.add_argument("--compressor", default="sz3-fast", choices=available_compressors())
+    transfer.add_argument("--error-bound", type=float, default=1e-3)
+    transfer.add_argument("--modes", nargs="+", default=["direct", "compressed", "grouped"])
+    transfer.add_argument("--json", action="store_true")
+    return parser
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    from .transfer import build_testbed
+
+    testbed = build_testbed()
+    print("compressors:")
+    for name in available_compressors():
+        print(f"  - {name}")
+    print("applications:")
+    for name in application_names():
+        print(f"  - {name}")
+    print("endpoints:")
+    for name in testbed.service.endpoints():
+        info = testbed.endpoint(name).describe()
+        print(f"  - {name} ({info['display_name']}, {info['dtn_count']} DTNs)")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    dataset = generate_application(args.application, snapshots=args.snapshots, scale=args.scale)
+    records = build_training_records(
+        dataset.fields,
+        error_bounds=(1e-5, 1e-4, 1e-3, 1e-2),
+        compressors=[args.compressor],
+    )
+    train, test = train_test_split_records(records, train_fraction=args.train_fraction, seed=0)
+    predictor = QualityPredictor().fit(train)
+    rows = []
+    for record in test[:20]:
+        pred = predictor.predict_from_features(
+            record.features, record.error_bound_abs, record.compressor
+        )
+        rows.append(
+            {
+                "field": record.field_name,
+                "eb": record.error_bound_label,
+                "CR": round(record.compression_ratio, 2),
+                "P-CR": round(pred.compression_ratio, 2),
+                "PSNR": round(record.psnr_db or 0.0, 1),
+                "P-PSNR": round(pred.psnr_db, 1),
+            }
+        )
+    if args.json:
+        json.dump(rows, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"{'field':20s} {'eb':>8s} {'CR':>8s} {'P-CR':>8s} {'PSNR':>8s} {'P-PSNR':>8s}")
+        for row in rows:
+            print(
+                f"{row['field']:20s} {row['eb']:>8s} {row['CR']:>8.2f} {row['P-CR']:>8.2f} "
+                f"{row['PSNR']:>8.1f} {row['P-PSNR']:>8.1f}"
+            )
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    if args.input:
+        data = np.load(args.input)
+        label = args.input
+    else:
+        spec_field = args.field
+        if spec_field is None:
+            from .datasets import get_application_spec
+
+            spec_field = get_application_spec(args.application).fields[0].name
+        field = generate_field(args.application, spec_field, scale=args.scale)
+        data = field.data
+        label = f"{args.application}/{spec_field}"
+    compressor = create_compressor(args.compressor)
+    bound = ErrorBound(value=args.error_bound, mode=args.mode)
+    result = compressor.compress(data, bound, collect_quality=True)
+    payload = {
+        "input": label,
+        "shape": list(np.asarray(data).shape),
+        "original_bytes": result.stats.original_bytes,
+        "compressed_bytes": result.stats.compressed_bytes,
+        "compression_ratio": round(result.compression_ratio, 3),
+        "compression_time_s": round(result.stats.compression_time_s, 4),
+        "psnr_db": round(result.stats.psnr_db or 0.0, 2),
+        "max_abs_error": result.stats.max_abs_error,
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"compressed {label} with {args.compressor} @ {bound.describe()}")
+        print(f"  size: {format_bytes(payload['original_bytes'])} -> "
+              f"{format_bytes(payload['compressed_bytes'])} ({payload['compression_ratio']}x)")
+        print(f"  time: {format_duration(payload['compression_time_s'])}"
+              f"  PSNR: {payload['psnr_db']} dB  max error: {payload['max_abs_error']:.3g}")
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    dataset = generate_application(args.application, snapshots=args.snapshots, scale=args.scale)
+    config = OcelotConfig(
+        error_bound=args.error_bound,
+        compressor=args.compressor,
+        size_scale=args.size_scale,
+    )
+    ocelot = Ocelot(config)
+    comparison = ocelot.compare_modes(
+        dataset, args.source, args.destination, modes=tuple(args.modes)
+    )
+    if args.json:
+        json.dump(
+            {mode: report.as_dict() for mode, report in comparison.reports.items()},
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        for mode, report in comparison.reports.items():
+            print(report.summary())
+            print()
+        print("Table VIII-style row:")
+        print(json.dumps(comparison.table_row(), indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "predict": _cmd_predict,
+    "compress": _cmd_compress,
+    "transfer": _cmd_transfer,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``ocelot`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Error-bounded lossy compression substrate.
+
+The public surface mirrors what the paper uses:
+
+* :class:`ErrorBound` / :class:`ErrorBoundMode` — absolute or
+  value-range-relative error bounds.
+* :func:`create_compressor` / :func:`available_compressors` — the
+  compressor registry (``sz3``, ``sz3-linear``, ``sz2``, ``sz-lorenzo``,
+  ``zfp-like`` plus fast variants).
+* :class:`Compressor` / :class:`CompressionResult` / :class:`CompressedBlob`
+  — the compressor interface, measured statistics and the serialised
+  blob format transferred between endpoints.
+"""
+
+from __future__ import annotations
+
+from .errorbound import ErrorBound, ErrorBoundMode
+from .interface import (
+    CompressedBlob,
+    CompressionResult,
+    CompressionStats,
+    Compressor,
+    SectionContainer,
+)
+from .quantizer import LinearQuantizer, QuantizationResult
+from .registry import (
+    available_compressors,
+    compressor_type_id,
+    create_compressor,
+    register_compressor,
+)
+from .sz import SZ2Compressor, SZ3Compressor, SZ3LorenzoCompressor, PipelineConfig
+from .zfp import ZFPLikeCompressor
+
+__all__ = [
+    "ErrorBound",
+    "ErrorBoundMode",
+    "Compressor",
+    "CompressedBlob",
+    "CompressionResult",
+    "CompressionStats",
+    "SectionContainer",
+    "LinearQuantizer",
+    "QuantizationResult",
+    "available_compressors",
+    "create_compressor",
+    "register_compressor",
+    "compressor_type_id",
+    "SZ2Compressor",
+    "SZ3Compressor",
+    "SZ3LorenzoCompressor",
+    "ZFPLikeCompressor",
+    "PipelineConfig",
+]

@@ -1,0 +1,23 @@
+"""Entropy and lossless encoders used by the compression pipelines."""
+
+from __future__ import annotations
+
+from .huffman import HuffmanCodec, HuffmanCodebook, huffman_code_lengths
+from .rle import run_length_encode, run_length_decode, zero_run_length_encode, zero_run_length_decode
+from .lz77 import LZ77Codec
+from .lossless import LosslessBackend, DeflateBackend, RawBackend, get_lossless_backend
+
+__all__ = [
+    "HuffmanCodec",
+    "HuffmanCodebook",
+    "huffman_code_lengths",
+    "run_length_encode",
+    "run_length_decode",
+    "zero_run_length_encode",
+    "zero_run_length_decode",
+    "LZ77Codec",
+    "LosslessBackend",
+    "DeflateBackend",
+    "RawBackend",
+    "get_lossless_backend",
+]

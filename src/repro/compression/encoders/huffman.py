@@ -1,0 +1,207 @@
+"""Canonical Huffman coding for integer symbol streams.
+
+The SZ family encodes quantisation bins with Huffman coding before a
+final dictionary/LZ pass.  Besides the actual codec, this module exposes
+:func:`huffman_code_lengths` and :class:`HuffmanCodebook.zero_symbol_share`,
+which the quality-prediction features (``P0`` — the share of the encoded
+stream occupied by the zero bin) are computed from without needing to
+materialise the encoded bit stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import EncodingError
+
+__all__ = ["HuffmanCodebook", "HuffmanCodec", "huffman_code_lengths"]
+
+
+def huffman_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    """Return the Huffman code length (bits) of each symbol.
+
+    A single-symbol alphabet is assigned a 1-bit code.
+    """
+    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    # Heap entries: (frequency, tie_breaker, [list of (symbol, depth)]).
+    heap: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+    for tie, sym in enumerate(sorted(symbols)):
+        heapq.heappush(heap, (frequencies[sym], tie, [(sym, 0)]))
+    tie = len(symbols)
+    while len(heap) > 1:
+        f1, _, group1 = heapq.heappop(heap)
+        f2, _, group2 = heapq.heappop(heap)
+        merged = [(sym, depth + 1) for sym, depth in group1 + group2]
+        heapq.heappush(heap, (f1 + f2, tie, merged))
+        tie += 1
+    _, _, group = heap[0]
+    return {sym: depth for sym, depth in group}
+
+
+@dataclass
+class HuffmanCodebook:
+    """A canonical Huffman codebook: symbol -> (code, length)."""
+
+    lengths: Dict[int, int]
+    codes: Dict[int, int]
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Dict[int, int]) -> "HuffmanCodebook":
+        """Build a canonical codebook from symbol frequencies."""
+        lengths = huffman_code_lengths(frequencies)
+        codes = _canonical_codes(lengths)
+        return cls(lengths=lengths, codes=codes)
+
+    @classmethod
+    def from_lengths(cls, lengths: Dict[int, int]) -> "HuffmanCodebook":
+        """Rebuild a canonical codebook from symbol code lengths only."""
+        return cls(lengths=dict(lengths), codes=_canonical_codes(lengths))
+
+    def encoded_bit_size(self, frequencies: Dict[int, int]) -> int:
+        """Total encoded size in bits for the given symbol frequencies."""
+        return sum(self.lengths.get(sym, 0) * freq for sym, freq in frequencies.items())
+
+    def zero_symbol_share(self, frequencies: Dict[int, int], zero_symbol: int) -> float:
+        """Fraction of encoded bits spent on ``zero_symbol`` (the paper's P0)."""
+        total = self.encoded_bit_size(frequencies)
+        if total == 0:
+            return 0.0
+        zero_bits = self.lengths.get(zero_symbol, 0) * frequencies.get(zero_symbol, 0)
+        return zero_bits / total
+
+    def serialize(self) -> bytes:
+        """Serialise the codebook as (symbol, length) pairs."""
+        items = sorted(self.lengths.items())
+        arr = np.array(items, dtype=np.int64)
+        return arr.tobytes()
+
+    @classmethod
+    def deserialize(cls, payload: bytes) -> "HuffmanCodebook":
+        """Rebuild a codebook from :meth:`serialize` output."""
+        arr = np.frombuffer(payload, dtype=np.int64)
+        if arr.size % 2 != 0:
+            raise EncodingError("corrupt Huffman codebook payload")
+        pairs = arr.reshape(-1, 2)
+        lengths = {int(sym): int(length) for sym, length in pairs}
+        return cls.from_lengths(lengths)
+
+
+def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, int]:
+    """Assign canonical codes (ordered by length then symbol value)."""
+    if not lengths:
+        return {}
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, int] = {}
+    code = 0
+    prev_len = ordered[0][1]
+    for sym, length in ordered:
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+class HuffmanCodec:
+    """Encode/decode integer symbol arrays with canonical Huffman coding."""
+
+    def encode(self, symbols: np.ndarray) -> Tuple[bytes, bytes, int]:
+        """Encode ``symbols``.
+
+        Returns ``(payload, codebook_bytes, count)``; decoding requires all
+        three.
+        """
+        arr = np.asarray(symbols, dtype=np.int64).ravel()
+        count = int(arr.size)
+        if count == 0:
+            return b"", HuffmanCodebook(lengths={}, codes={}).serialize(), 0
+        uniques, inverse, counts = np.unique(arr, return_inverse=True, return_counts=True)
+        frequencies = {int(s): int(c) for s, c in zip(uniques, counts)}
+        book = HuffmanCodebook.from_frequencies(frequencies)
+        # Vectorised lookup of per-symbol codes/lengths via the unique inverse.
+        code_table = np.array([book.codes[int(s)] for s in uniques], dtype=np.uint64)
+        len_table = np.array([book.lengths[int(s)] for s in uniques], dtype=np.uint8)
+        codes = code_table[inverse]
+        lens = len_table[inverse]
+        payload = _pack_codes(codes, lens)
+        return payload, book.serialize(), count
+
+    def decode(self, payload: bytes, codebook_bytes: bytes, count: int) -> np.ndarray:
+        """Decode ``count`` symbols from ``payload`` using the codebook."""
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        book = HuffmanCodebook.deserialize(codebook_bytes)
+        if not book.lengths:
+            raise EncodingError("cannot decode with an empty Huffman codebook")
+        if len(book.lengths) == 1:
+            only = next(iter(book.lengths))
+            return np.full(count, only, dtype=np.int64)
+        # Build a (length, code) -> symbol map for canonical decoding.
+        decode_map: Dict[Tuple[int, int], int] = {
+            (length, book.codes[sym]): sym for sym, length in book.lengths.items()
+        }
+        max_len = max(book.lengths.values())
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        out = np.empty(count, dtype=np.int64)
+        pos = 0
+        total_bits = bits.size
+        for i in range(count):
+            code = 0
+            length = 0
+            while True:
+                if pos >= total_bits:
+                    raise EncodingError("Huffman stream exhausted before all symbols decoded")
+                code = (code << 1) | int(bits[pos])
+                pos += 1
+                length += 1
+                sym = decode_map.get((length, code))
+                if sym is not None:
+                    out[i] = sym
+                    break
+                if length > max_len:
+                    raise EncodingError("invalid Huffman code encountered during decode")
+        return out
+
+    def estimate_encoded_bytes(self, symbols: np.ndarray) -> int:
+        """Encoded payload size in bytes without materialising the bit stream."""
+        arr = np.asarray(symbols, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return 0
+        uniques, counts = np.unique(arr, return_counts=True)
+        frequencies = {int(s): int(c) for s, c in zip(uniques, counts)}
+        book = HuffmanCodebook.from_frequencies(frequencies)
+        bits = book.encoded_bit_size(frequencies)
+        return (bits + 7) // 8
+
+
+def _pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
+    """Pack per-symbol (code, length) pairs into a MSB-first byte stream."""
+    total_bits = int(lengths.sum(dtype=np.int64))
+    if total_bits == 0:
+        return b""
+    # Accumulate into a Python integer in chunks: fast enough for the
+    # moderate symbol counts used in tests/benchmarks while remaining
+    # exact for arbitrary code lengths.
+    out = bytearray()
+    acc = 0
+    acc_bits = 0
+    codes_list = codes.tolist()
+    lens_list = lengths.tolist()
+    for code, length in zip(codes_list, lens_list):
+        acc = (acc << length) | int(code)
+        acc_bits += length
+        while acc_bits >= 8:
+            acc_bits -= 8
+            out.append((acc >> acc_bits) & 0xFF)
+            acc &= (1 << acc_bits) - 1
+    if acc_bits:
+        out.append((acc << (8 - acc_bits)) & 0xFF)
+    return bytes(out)

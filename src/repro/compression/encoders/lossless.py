@@ -1,0 +1,97 @@
+"""Pluggable lossless back-end stage for the compression pipelines.
+
+The SZ C++ implementations finish with a general-purpose lossless coder
+(zstd or gzip).  Here the default is DEFLATE via the standard library's
+``zlib``; a raw pass-through backend and the in-repo LZ77 codec are also
+available so pipelines can be ablated.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+
+from ...errors import ConfigurationError, EncodingError
+from .lz77 import LZ77Codec
+
+__all__ = ["LosslessBackend", "DeflateBackend", "RawBackend", "LZ77Backend", "get_lossless_backend"]
+
+
+class LosslessBackend(abc.ABC):
+    """Interface of the final lossless stage."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress a byte string."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+
+class DeflateBackend(LosslessBackend):
+    """DEFLATE (zlib) backend — the default dictionary coder."""
+
+    name = "deflate"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ConfigurationError(f"deflate level must be in [0, 9], got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(bytes(data), self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(bytes(data))
+        except zlib.error as exc:
+            raise EncodingError(f"deflate decompression failed: {exc}") from exc
+
+
+class RawBackend(LosslessBackend):
+    """Identity backend (no lossless stage)."""
+
+    name = "raw"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+class LZ77Backend(LosslessBackend):
+    """In-repo LZ77 codec as the dictionary stage (slow; for ablation)."""
+
+    name = "lz77"
+
+    def __init__(self, window_size: int = 4096) -> None:
+        self._codec = LZ77Codec(window_size=window_size)
+
+    def compress(self, data: bytes) -> bytes:
+        return self._codec.encode(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return self._codec.decode(data)
+
+
+_BACKENDS = {
+    DeflateBackend.name: DeflateBackend,
+    RawBackend.name: RawBackend,
+    LZ77Backend.name: LZ77Backend,
+}
+
+
+def get_lossless_backend(name: str, **kwargs) -> LosslessBackend:
+    """Instantiate a lossless backend by name (``deflate``, ``raw``, ``lz77``)."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError as exc:
+        valid = ", ".join(sorted(_BACKENDS))
+        raise ConfigurationError(
+            f"unknown lossless backend {name!r}; expected one of: {valid}"
+        ) from exc
+    return factory(**kwargs)

@@ -1,0 +1,108 @@
+"""A small LZ77 dictionary coder.
+
+The SZ pipeline finishes with a dictionary coder (zstd/gzip in the C++
+implementation).  The default pipelines in this repository use the
+deflate backend (:mod:`repro.compression.encoders.lossless`) for speed,
+but an explicit LZ77 implementation is provided both for completeness
+and so that the dictionary-coding stage can be unit-tested in isolation
+and swapped into pipelines for ablation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from ...errors import EncodingError
+
+__all__ = ["LZ77Codec"]
+
+_TOKEN = struct.Struct("<HBB")  # offset (u16), length (u8), next literal (u8)
+
+
+class LZ77Codec:
+    """Byte-oriented LZ77 with a bounded sliding window.
+
+    Tokens are ``(offset, length, literal)`` triples; ``offset == 0``
+    means "no match, literal only".
+    """
+
+    def __init__(self, window_size: int = 4096, max_match: int = 255, min_match: int = 4) -> None:
+        if window_size <= 0 or window_size > 65535:
+            raise EncodingError("window size must be in [1, 65535]")
+        if not 1 <= min_match <= max_match <= 255:
+            raise EncodingError("match lengths must satisfy 1 <= min <= max <= 255")
+        self.window_size = window_size
+        self.max_match = max_match
+        self.min_match = min_match
+
+    def encode(self, data: bytes) -> bytes:
+        """Compress ``data`` into a token stream (prefixed with its length)."""
+        raw = bytes(data)
+        n = len(raw)
+        tokens: List[Tuple[int, int, int]] = []
+        # Index of 3-byte prefixes -> candidate positions, for fast match search.
+        prefix_index: dict = {}
+        pos = 0
+        while pos < n:
+            best_len = 0
+            best_off = 0
+            key = raw[pos : pos + 3]
+            candidates = prefix_index.get(key, ()) if len(key) == 3 else ()
+            window_start = max(0, pos - self.window_size)
+            for cand in reversed(candidates):
+                if cand < window_start:
+                    break
+                length = 0
+                limit = min(self.max_match, n - pos)
+                while length < limit and raw[cand + length] == raw[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_off = pos - cand
+                    if length >= self.max_match:
+                        break
+            if best_len >= self.min_match and pos + best_len < n:
+                literal = raw[pos + best_len]
+                tokens.append((best_off, best_len, literal))
+                advance = best_len + 1
+            elif best_len >= self.min_match and pos + best_len == n:
+                # Match runs to the end: emit with a dummy literal and record it.
+                tokens.append((best_off, best_len - 1, raw[n - 1]))
+                advance = best_len
+            else:
+                tokens.append((0, 0, raw[pos]))
+                advance = 1
+            # Register prefixes of the region we just consumed.
+            for p in range(pos, min(pos + advance, n - 2)):
+                prefix_index.setdefault(raw[p : p + 3], []).append(p)
+            pos += advance
+        out = bytearray(struct.pack("<I", n))
+        for off, length, literal in tokens:
+            out += _TOKEN.pack(off, length, literal)
+        return bytes(out)
+
+    def decode(self, payload: bytes) -> bytes:
+        """Invert :meth:`encode`."""
+        if len(payload) < 4:
+            raise EncodingError("LZ77 payload too short")
+        (expected_len,) = struct.unpack("<I", payload[:4])
+        body = payload[4:]
+        if len(body) % _TOKEN.size != 0:
+            raise EncodingError("LZ77 payload has a partial token")
+        out = bytearray()
+        for i in range(0, len(body), _TOKEN.size):
+            off, length, literal = _TOKEN.unpack_from(body, i)
+            if off:
+                start = len(out) - off
+                if start < 0:
+                    raise EncodingError("LZ77 back-reference before start of output")
+                for j in range(length):
+                    out.append(out[start + j])
+            out.append(literal)
+        result = bytes(out[:expected_len])
+        if len(result) != expected_len:
+            raise EncodingError(
+                f"LZ77 decode produced {len(result)} bytes, expected {expected_len}"
+            )
+        return result

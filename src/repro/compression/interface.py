@@ -1,0 +1,315 @@
+"""Compressor interfaces and the on-the-wire compressed blob format.
+
+A :class:`CompressedBlob` is a self-describing byte container: a JSON
+header (compressor name, shape, dtype, error bound, per-section sizes)
+followed by named binary sections.  The blob is what Ocelot writes to the
+source endpoint's filesystem, groups into archives, transfers over the
+simulated WAN, and decompresses at the destination.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CompressionError, EncodingError
+from .errorbound import ErrorBound
+
+__all__ = [
+    "SectionContainer",
+    "CompressedBlob",
+    "CompressionStats",
+    "CompressionResult",
+    "Compressor",
+]
+
+_MAGIC = b"OCLT"
+_FORMAT_VERSION = 1
+
+
+class SectionContainer:
+    """Serialize a JSON header plus named binary sections to bytes.
+
+    Layout::
+
+        MAGIC (4 bytes) | version (u32) | header_len (u32) | header JSON
+        | section bytes back to back (sizes recorded in the header)
+    """
+
+    def __init__(self, header: Optional[Dict[str, Any]] = None) -> None:
+        self.header: Dict[str, Any] = dict(header or {})
+        self._sections: Dict[str, bytes] = {}
+
+    def add_section(self, name: str, payload: bytes) -> None:
+        """Add a named binary section (overwrites an existing one)."""
+        self._sections[name] = bytes(payload)
+
+    def add_array(self, name: str, array: np.ndarray) -> None:
+        """Add a NumPy array section, recording dtype/shape in the header."""
+        arr = np.ascontiguousarray(array)
+        meta = self.header.setdefault("_arrays", {})
+        meta[name] = {"dtype": str(arr.dtype), "shape": list(arr.shape)}
+        self.add_section(name, arr.tobytes())
+
+    def get_section(self, name: str) -> bytes:
+        """Return the raw bytes of a named section."""
+        try:
+            return self._sections[name]
+        except KeyError as exc:
+            raise EncodingError(f"missing section {name!r} in container") from exc
+
+    def get_array(self, name: str) -> np.ndarray:
+        """Return a NumPy array section (dtype/shape restored from header)."""
+        meta = self.header.get("_arrays", {}).get(name)
+        if meta is None:
+            raise EncodingError(f"section {name!r} was not stored as an array")
+        raw = self.get_section(name)
+        arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
+        return arr.reshape(meta["shape"])
+
+    def section_names(self) -> List[str]:
+        """Names of all stored sections, in insertion order."""
+        return list(self._sections)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the container."""
+        header = dict(self.header)
+        header["_sections"] = [
+            {"name": name, "size": len(payload)} for name, payload in self._sections.items()
+        ]
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        parts = [
+            _MAGIC,
+            struct.pack("<II", _FORMAT_VERSION, len(header_bytes)),
+            header_bytes,
+        ]
+        parts.extend(self._sections.values())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SectionContainer":
+        """Parse a container previously produced by :meth:`to_bytes`."""
+        if len(data) < 12 or data[:4] != _MAGIC:
+            raise EncodingError("not a valid Ocelot container (bad magic)")
+        version, header_len = struct.unpack("<II", data[4:12])
+        if version != _FORMAT_VERSION:
+            raise EncodingError(f"unsupported container version {version}")
+        header_end = 12 + header_len
+        if header_end > len(data):
+            raise EncodingError("truncated container header")
+        header = json.loads(data[12:header_end].decode("utf-8"))
+        sections = header.pop("_sections", [])
+        container = cls(header)
+        offset = header_end
+        for entry in sections:
+            size = int(entry["size"])
+            payload = data[offset : offset + size]
+            if len(payload) != size:
+                raise EncodingError(f"truncated section {entry['name']!r}")
+            container._sections[entry["name"]] = payload
+            offset += size
+        return container
+
+
+class CompressedBlob:
+    """A compressed representation of one array, ready to write/transfer."""
+
+    def __init__(
+        self,
+        compressor: str,
+        shape: Tuple[int, ...],
+        dtype: str,
+        error_bound_abs: float,
+        container: SectionContainer,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.compressor = compressor
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = str(dtype)
+        self.error_bound_abs = float(error_bound_abs)
+        self.container = container
+        self.metadata = dict(metadata or {})
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements in the original array."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def original_nbytes(self) -> int:
+        """Size in bytes of the original (uncompressed) array."""
+        return self.num_elements * np.dtype(self.dtype).itemsize
+
+    def to_bytes(self) -> bytes:
+        """Serialise the blob (header + sections) to bytes."""
+        self.container.header.update(
+            {
+                "compressor": self.compressor,
+                "shape": list(self.shape),
+                "dtype": self.dtype,
+                "error_bound_abs": self.error_bound_abs,
+                "metadata": self.metadata,
+            }
+        )
+        return self.container.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CompressedBlob":
+        """Parse a blob previously produced by :meth:`to_bytes`."""
+        container = SectionContainer.from_bytes(data)
+        header = container.header
+        try:
+            return cls(
+                compressor=header["compressor"],
+                shape=tuple(header["shape"]),
+                dtype=header["dtype"],
+                error_bound_abs=float(header["error_bound_abs"]),
+                container=container,
+                metadata=header.get("metadata", {}),
+            )
+        except KeyError as exc:
+            raise EncodingError(f"compressed blob header missing key {exc}") from exc
+
+    @property
+    def nbytes(self) -> int:
+        """Serialised size of the blob in bytes."""
+        return len(self.to_bytes())
+
+
+@dataclass
+class CompressionStats:
+    """Measured statistics for one compression operation."""
+
+    original_bytes: int
+    compressed_bytes: int
+    compression_time_s: float
+    decompression_time_s: float = 0.0
+    psnr_db: Optional[float] = None
+    max_abs_error: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original size divided by compressed size."""
+        if self.compressed_bytes <= 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def compression_throughput_mbps(self) -> float:
+        """Compression throughput in MB/s (original bytes per second)."""
+        if self.compression_time_s <= 0:
+            return float("inf")
+        return self.original_bytes / 1e6 / self.compression_time_s
+
+
+@dataclass
+class CompressionResult:
+    """A compressed blob together with its measured statistics."""
+
+    blob: CompressedBlob
+    stats: CompressionStats
+
+    @property
+    def compression_ratio(self) -> float:
+        """Convenience accessor for the compression ratio."""
+        return self.stats.compression_ratio
+
+
+class Compressor(abc.ABC):
+    """Abstract error-bounded lossy compressor.
+
+    Concrete compressors implement :meth:`compress_array` and
+    :meth:`decompress_blob`; the public :meth:`compress` / :meth:`decompress`
+    wrappers add timing, ratio accounting, and (optionally) error-bound
+    verification.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress_array(self, data: np.ndarray, error_bound_abs: float) -> CompressedBlob:
+        """Compress ``data`` with an absolute error bound."""
+
+    @abc.abstractmethod
+    def decompress_blob(self, blob: CompressedBlob) -> np.ndarray:
+        """Reconstruct the array stored in ``blob``."""
+
+    def compress(
+        self,
+        data: np.ndarray,
+        error_bound: ErrorBound,
+        verify: bool = False,
+        collect_quality: bool = False,
+    ) -> CompressionResult:
+        """Compress ``data`` and return the blob with timing/ratio statistics.
+
+        Args:
+            data: the array to compress (any dimensionality, float dtype).
+            error_bound: the error-bound request (absolute or relative).
+            verify: when True, decompress immediately and assert that the
+                absolute error bound holds (raises
+                :class:`~repro.errors.ErrorBoundViolation` otherwise).
+            collect_quality: when True, also record PSNR and max error in
+                the stats (requires a decompression pass).
+        """
+        import time
+
+        arr = np.asarray(data)
+        if arr.size == 0:
+            raise CompressionError("cannot compress an empty array")
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float32)
+        eb_abs = error_bound.absolute_for(arr)
+        start = time.perf_counter()
+        blob = self.compress_array(arr, eb_abs)
+        elapsed = time.perf_counter() - start
+        blob.metadata.setdefault("error_bound_request", error_bound.describe())
+        stats = CompressionStats(
+            original_bytes=int(arr.nbytes),
+            compressed_bytes=int(blob.nbytes),
+            compression_time_s=float(elapsed),
+        )
+        if verify or collect_quality:
+            t0 = time.perf_counter()
+            recon = self.decompress_blob(blob)
+            stats.decompression_time_s = time.perf_counter() - t0
+            diff = np.abs(arr.astype(np.float64) - recon.astype(np.float64))
+            stats.max_abs_error = float(diff.max())
+            from ..utils.stats import psnr as _psnr
+
+            stats.psnr_db = _psnr(arr, recon)
+            if verify:
+                from ..errors import ErrorBoundViolation
+
+                # Allow float slack on top of the bound: casting the float64
+                # reconstruction back to the original dtype (e.g. float32)
+                # rounds each value by up to eps * |value|.
+                cast_slack = float(np.finfo(recon.dtype).eps) * float(
+                    np.max(np.abs(arr)) if arr.size else 0.0
+                )
+                tolerance = eb_abs * (1.0 + 1e-9) + cast_slack + 1e-300
+                if stats.max_abs_error > tolerance:
+                    raise ErrorBoundViolation(stats.max_abs_error, eb_abs)
+        return CompressionResult(blob=blob, stats=stats)
+
+    def decompress(self, blob: CompressedBlob) -> np.ndarray:
+        """Reconstruct an array from a blob produced by this compressor."""
+        if blob.compressor != self.name:
+            raise CompressionError(
+                f"blob was produced by {blob.compressor!r}, not {self.name!r}"
+            )
+        return self.decompress_blob(blob)
+
+    def describe(self) -> Mapping[str, Any]:
+        """Return a short description of the compressor configuration."""
+        return {"name": self.name}

@@ -1,0 +1,16 @@
+"""Data predictors used by the prediction-based compression pipelines."""
+
+from __future__ import annotations
+
+from .base import Predictor, PredictorOutput
+from .lorenzo import LorenzoPredictor
+from .regression import RegressionPredictor
+from .interpolation import InterpolationPredictor
+
+__all__ = [
+    "Predictor",
+    "PredictorOutput",
+    "LorenzoPredictor",
+    "RegressionPredictor",
+    "InterpolationPredictor",
+]

@@ -1,0 +1,110 @@
+"""Decoupled Lorenzo predictor.
+
+The classic Lorenzo predictor predicts each value from its previously
+*reconstructed* neighbours, which forces a strictly sequential scan and
+is prohibitively slow in pure Python.  This implementation uses the
+*decoupled* formulation:
+
+1. quantise every value onto the uniform grid ``k = round(v / (2*eb))``
+   (so ``|v - k*2*eb| <= eb`` by construction), then
+2. apply the integer Lorenzo difference operator to the grid ``k`` —
+   which is exactly the composition of first-difference operators along
+   each axis and therefore fully vectorises with ``np.diff``/``np.cumsum``.
+
+The emitted codes have the same statistical character as classic
+Lorenzo quantisation bins (smooth data ⇒ codes concentrated near zero)
+while the absolute error bound holds unconditionally.  The difference
+between the two formulations is quantified in the Lorenzo-variant
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ...errors import CompressionError
+from .base import Predictor, PredictorOutput
+
+__all__ = ["LorenzoPredictor", "lorenzo_prediction_errors"]
+
+#: Grids whose integer codes exceed this magnitude cannot be represented
+#: exactly in float64 round-tripping, so we fall back to literal storage.
+_MAX_SAFE_CODE = float(2**52)
+
+
+class LorenzoPredictor(Predictor):
+    """Vectorised (decoupled) Lorenzo predictor for 1-D to N-D arrays."""
+
+    name = "lorenzo"
+
+    def encode(self, data: np.ndarray, error_bound_abs: float) -> PredictorOutput:
+        if error_bound_abs <= 0:
+            raise CompressionError(f"error bound must be positive, got {error_bound_abs}")
+        arr = np.asarray(data, dtype=np.float64)
+        step = 2.0 * float(error_bound_abs)
+        with np.errstate(invalid="ignore", over="ignore"):
+            grid = np.rint(arr / step)
+        finite = np.isfinite(grid)
+        if not finite.all() or (grid.size and np.abs(grid[finite]).max(initial=0.0) > _MAX_SAFE_CODE):
+            # Pathological bound (far smaller than the data magnitude) or
+            # non-finite values: store everything as literals.
+            flat = arr.ravel()
+            return PredictorOutput(
+                codes=np.zeros(flat.size, dtype=np.int64),
+                unpredictable_mask=np.ones(flat.size, dtype=bool),
+                literals=flat.copy(),
+                aux={},
+                meta={"fallback": True},
+                reconstruction=arr.copy(),
+            )
+        codes = grid.astype(np.int64)
+        reconstruction = codes.astype(np.float64) * step
+        for axis in range(arr.ndim):
+            codes = np.diff(codes, axis=axis, prepend=0)
+        flat_codes = codes.ravel()
+        return PredictorOutput(
+            codes=flat_codes,
+            unpredictable_mask=np.zeros(flat_codes.size, dtype=bool),
+            literals=np.zeros(0, dtype=np.float64),
+            aux={},
+            meta={"fallback": False},
+            reconstruction=reconstruction,
+        )
+
+    def decode(
+        self,
+        codes: np.ndarray,
+        unpredictable_mask: np.ndarray,
+        literals: np.ndarray,
+        aux: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+        shape: Tuple[int, ...],
+        error_bound_abs: float,
+    ) -> np.ndarray:
+        if meta.get("fallback"):
+            return np.asarray(literals, dtype=np.float64).reshape(shape)
+        step = 2.0 * float(error_bound_abs)
+        grid = np.asarray(codes, dtype=np.int64).reshape(shape)
+        for axis in range(len(shape)):
+            grid = np.cumsum(grid, axis=axis)
+        return grid.astype(np.float64) * step
+
+
+def lorenzo_prediction_errors(data: np.ndarray) -> np.ndarray:
+    """Per-point Lorenzo prediction error computed on the *original* values.
+
+    This is the quantity the paper uses as the "average Lorenzo error"
+    data-based feature (the difference between true values and the
+    Lorenzo-predicted values); it is computed directly on the raw data, as
+    the paper does for feature extraction.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    diffs = arr
+    for axis in range(arr.ndim):
+        diffs = np.diff(diffs, axis=axis, prepend=0)
+    # The first element along every axis has no complete neighbourhood; the
+    # resulting large "errors" at the array border are part of the feature
+    # definition (they are a tiny fraction of points for realistic sizes).
+    return diffs

@@ -1,0 +1,82 @@
+"""Compressor registry.
+
+Compressors are referenced by name throughout the system — in the
+quality predictor's config-based feature (``compressor type``), in Ocelot
+configuration, in CLI arguments and in compressed blob headers.  The
+registry maps those names to factory callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import UnknownCompressorError
+from .interface import Compressor
+from .sz.pipeline import PipelineConfig
+from .sz.sz2 import SZ2Compressor
+from .sz.sz3 import SZ3Compressor, SZ3LorenzoCompressor
+from .zfp.zfp import ZFPLikeCompressor
+
+__all__ = [
+    "available_compressors",
+    "create_compressor",
+    "register_compressor",
+    "compressor_type_id",
+]
+
+_FACTORIES: Dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register (or replace) a compressor factory under ``name``."""
+    _FACTORIES[name] = factory
+
+
+def available_compressors() -> List[str]:
+    """Names of all registered compressors, sorted."""
+    return sorted(_FACTORIES)
+
+
+def create_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a compressor by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        valid = ", ".join(available_compressors())
+        raise UnknownCompressorError(
+            f"unknown compressor {name!r}; available: {valid}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def compressor_type_id(name: str) -> int:
+    """Stable integer id of a compressor name (the ML model's categorical feature)."""
+    names = available_compressors()
+    try:
+        return names.index(name)
+    except ValueError as exc:
+        raise UnknownCompressorError(f"unknown compressor {name!r}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Built-in registrations
+# --------------------------------------------------------------------------- #
+register_compressor("sz3", lambda **kw: SZ3Compressor(**kw))
+register_compressor(
+    "sz3-linear", lambda **kw: SZ3Compressor(order="linear", **kw)
+)
+register_compressor("sz2", lambda **kw: SZ2Compressor(**kw))
+register_compressor("sz-lorenzo", lambda **kw: SZ3LorenzoCompressor(**kw))
+register_compressor("zfp-like", lambda **kw: ZFPLikeCompressor(**kw))
+register_compressor(
+    "sz3-fast",
+    lambda **kw: SZ3Compressor(
+        config=PipelineConfig(entropy_stage="none", lossless_backend="deflate"), **kw
+    ),
+)
+register_compressor(
+    "sz-lorenzo-fast",
+    lambda **kw: SZ3LorenzoCompressor(
+        config=PipelineConfig(entropy_stage="none", lossless_backend="deflate"), **kw
+    ),
+)

@@ -1,0 +1,178 @@
+"""Composable prediction-based compression pipeline.
+
+This mirrors the modular structure of SZ3 that the paper highlights: a
+*predictor* stage (Lorenzo / regression / interpolation), a *quantiser*
+(inside the predictors), an *entropy* stage (Huffman or bypass) and a
+final *lossless* dictionary stage (deflate / LZ77 / none).  Different
+combinations form the different "compression pipelines" evaluated in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...errors import CompressionError, ConfigurationError
+from ..encoders.huffman import HuffmanCodec
+from ..encoders.lossless import LosslessBackend, get_lossless_backend
+from ..interface import CompressedBlob, Compressor, SectionContainer
+from ..predictors.base import Predictor, PredictorOutput
+
+__all__ = ["PipelineConfig", "PredictionPipelineCompressor"]
+
+_ENTROPY_STAGES = ("huffman", "none")
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of a prediction-based pipeline."""
+
+    entropy_stage: str = "huffman"
+    lossless_backend: str = "deflate"
+    lossless_options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.entropy_stage not in _ENTROPY_STAGES:
+            raise ConfigurationError(
+                f"entropy stage must be one of {_ENTROPY_STAGES}, got {self.entropy_stage!r}"
+            )
+
+
+class PredictionPipelineCompressor(Compressor):
+    """A full predictor → quantiser → Huffman → lossless pipeline."""
+
+    name = "prediction-pipeline"
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        config: Optional[PipelineConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.config = config or PipelineConfig()
+        if name:
+            self.name = name
+        self._huffman = HuffmanCodec()
+        self._lossless: LosslessBackend = get_lossless_backend(
+            self.config.lossless_backend, **self.config.lossless_options
+        )
+
+    # ------------------------------------------------------------------ #
+    # Compressor interface
+    # ------------------------------------------------------------------ #
+    def compress_array(self, data: np.ndarray, error_bound_abs: float) -> CompressedBlob:
+        arr = np.asarray(data)
+        dtype = str(arr.dtype)
+        encoding = self.predictor.encode(arr, error_bound_abs)
+        inner = self._serialize_encoding(encoding)
+        payload = self._lossless.compress(inner)
+        outer = SectionContainer(
+            header={
+                "predictor": self.predictor.name,
+                "entropy_stage": self.config.entropy_stage,
+                "lossless_backend": self._lossless.name,
+            }
+        )
+        outer.add_section("payload", payload)
+        return CompressedBlob(
+            compressor=self.name,
+            shape=arr.shape,
+            dtype=dtype,
+            error_bound_abs=error_bound_abs,
+            container=outer,
+            metadata={"predictor": self.predictor.name},
+        )
+
+    def decompress_blob(self, blob: CompressedBlob) -> np.ndarray:
+        payload = blob.container.get_section("payload")
+        backend_name = blob.container.header.get("lossless_backend", self._lossless.name)
+        backend = (
+            self._lossless
+            if backend_name == self._lossless.name
+            else get_lossless_backend(backend_name)
+        )
+        inner_bytes = backend.decompress(payload)
+        inner = SectionContainer.from_bytes(inner_bytes)
+        codes, mask, literals, aux, meta = self._deserialize_encoding(inner)
+        recon = self.predictor.decode(
+            codes, mask, literals, aux, meta, blob.shape, blob.error_bound_abs
+        )
+        return recon.astype(np.dtype(blob.dtype), copy=False)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "predictor": self.predictor.describe(),
+            "entropy_stage": self.config.entropy_stage,
+            "lossless_backend": self.config.lossless_backend,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Encoding serialisation
+    # ------------------------------------------------------------------ #
+    def _serialize_encoding(self, encoding: PredictorOutput) -> bytes:
+        inner = SectionContainer(header={"predictor_meta": encoding.meta})
+        codes = np.asarray(encoding.codes, dtype=np.int64)
+        inner.header["num_codes"] = int(codes.size)
+        if self.config.entropy_stage == "huffman" and codes.size:
+            payload, codebook, count = self._huffman.encode(codes)
+            inner.header["huffman_count"] = count
+            inner.add_section("codes_payload", payload)
+            inner.add_section("codes_codebook", codebook)
+        else:
+            inner.header["huffman_count"] = -1
+            inner.add_array("codes_raw", self._pack_codes(codes))
+        mask = np.asarray(encoding.unpredictable_mask, dtype=bool)
+        escape_indices = np.flatnonzero(mask).astype(np.int64)
+        inner.add_array("escape_indices", escape_indices)
+        inner.add_array("literals", np.asarray(encoding.literals, dtype=np.float64))
+        inner.header["aux_names"] = sorted(encoding.aux)
+        for aux_name in sorted(encoding.aux):
+            inner.add_array(f"aux_{aux_name}", np.asarray(encoding.aux[aux_name]))
+        return inner.to_bytes()
+
+    def _deserialize_encoding(self, inner: SectionContainer):
+        header = inner.header
+        meta = header.get("predictor_meta", {})
+        num_codes = int(header.get("num_codes", 0))
+        if int(header.get("huffman_count", -1)) >= 0:
+            payload = inner.get_section("codes_payload")
+            codebook = inner.get_section("codes_codebook")
+            codes = self._huffman.decode(payload, codebook, int(header["huffman_count"]))
+        else:
+            codes = self._unpack_codes(inner.get_array("codes_raw"), num_codes)
+        escape_indices = inner.get_array("escape_indices")
+        mask = np.zeros(num_codes, dtype=bool)
+        if escape_indices.size:
+            mask[escape_indices] = True
+        literals = inner.get_array("literals")
+        aux = {
+            name: inner.get_array(f"aux_{name}") for name in header.get("aux_names", [])
+        }
+        return codes, mask, literals, aux, meta
+
+    @staticmethod
+    def _pack_codes(codes: np.ndarray) -> np.ndarray:
+        """Store raw codes with the narrowest integer dtype that fits."""
+        if codes.size == 0:
+            return codes.astype(np.int8)
+        lo = int(codes.min())
+        hi = int(codes.max())
+        for dtype in (np.int8, np.int16, np.int32, np.int64):
+            info = np.iinfo(dtype)
+            if lo >= info.min and hi <= info.max:
+                return codes.astype(dtype)
+        return codes
+
+    @staticmethod
+    def _unpack_codes(raw: np.ndarray, num_codes: int) -> np.ndarray:
+        codes = np.asarray(raw, dtype=np.int64)
+        if codes.size != num_codes:
+            raise CompressionError(
+                f"raw code stream has {codes.size} entries, expected {num_codes}"
+            )
+        return codes

@@ -1,0 +1,8 @@
+"""Transform-based (ZFP-like) compression baseline."""
+
+from __future__ import annotations
+
+from .transform import BlockTransformPredictor
+from .zfp import ZFPLikeCompressor
+
+__all__ = ["BlockTransformPredictor", "ZFPLikeCompressor"]

@@ -1,0 +1,23 @@
+"""ZFP-like transform compressor built on the block-transform predictor."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sz.pipeline import PipelineConfig, PredictionPipelineCompressor
+from .transform import BlockTransformPredictor
+
+__all__ = ["ZFPLikeCompressor"]
+
+
+class ZFPLikeCompressor(PredictionPipelineCompressor):
+    """Transform-based baseline compressor (ZFP-like, fixed-accuracy mode)."""
+
+    name = "zfp-like"
+
+    def __init__(self, block_size: int = 4, config: Optional[PipelineConfig] = None) -> None:
+        super().__init__(
+            predictor=BlockTransformPredictor(block_size=block_size),
+            config=config,
+            name=self.name,
+        )

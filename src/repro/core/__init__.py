@@ -1,0 +1,33 @@
+"""Ocelot core: configuration, planning, orchestration and reporting."""
+
+from __future__ import annotations
+
+from .config import OcelotConfig
+from .grouping import FileGrouper, GroupFile, GroupingPlan, GroupMember
+from .ocelot import Ocelot
+from .orchestrator import OcelotOrchestrator, StagedFile
+from .parallel import MakespanEstimate, ParallelCostModel, ParallelExecutor
+from .planner import CompressionPlan, CompressionPlanner
+from .reporting import ModeComparison, PhaseTimings, TransferReport
+from .sentinel import Sentinel, SentinelDecision
+
+__all__ = [
+    "Ocelot",
+    "OcelotConfig",
+    "OcelotOrchestrator",
+    "StagedFile",
+    "CompressionPlan",
+    "CompressionPlanner",
+    "ParallelExecutor",
+    "ParallelCostModel",
+    "MakespanEstimate",
+    "FileGrouper",
+    "GroupFile",
+    "GroupMember",
+    "GroupingPlan",
+    "Sentinel",
+    "SentinelDecision",
+    "PhaseTimings",
+    "TransferReport",
+    "ModeComparison",
+]

@@ -1,0 +1,114 @@
+"""Ocelot configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..compression.errorbound import ErrorBound, ErrorBoundMode
+from ..errors import ConfigurationError
+
+__all__ = ["OcelotConfig", "TransferMode"]
+
+#: Transfer modes matching the paper's Table VIII columns.
+#:  * ``direct``      — NP: no compression.
+#:  * ``compressed``  — CP: per-file parallel compression.
+#:  * ``grouped``     — OP: parallel compression + file grouping.
+TransferMode = str
+VALID_MODES: Tuple[str, ...] = ("direct", "compressed", "grouped")
+
+
+@dataclass
+class OcelotConfig:
+    """User-facing configuration of an Ocelot transfer.
+
+    Attributes:
+        error_bound: error-bound value (interpreted per ``error_bound_mode``).
+        error_bound_mode: ``rel`` (value-range relative, paper default) or ``abs``.
+        compressor: registry name of the compressor to use.
+        mode: default transfer mode (``direct`` / ``compressed`` / ``grouped``).
+        use_prediction: when True the quality predictor selects the error
+            bound / compressor automatically (Capability 1 of the paper).
+        candidate_error_bounds: candidate relative bounds for the planner sweep.
+        min_psnr_db: quality floor used by the planner.
+        compression_nodes / decompression_nodes: node counts for the
+            parallel (de)compression jobs (paper: 16 nodes to compress on
+            Anvil, 8 to decompress on Bebop/Cori).
+        cores_per_node: cores used per node.
+        group_target_bytes: preferred grouped-file size; ``None`` groups by
+            world size (the paper's default strategy).
+        sentinel_enabled: transfer raw files while waiting for nodes.
+        sentinel_wait_threshold_s: minimum predicted wait before the
+            sentinel starts transferring raw data.
+        verify_error_bound: decompress-and-check after compression.
+        sample_fraction: subsampling used by feature extraction.
+    """
+
+    error_bound: float = 1e-3
+    error_bound_mode: str = "rel"
+    compressor: str = "sz3-fast"
+    mode: TransferMode = "grouped"
+    use_prediction: bool = False
+    candidate_error_bounds: Sequence[float] = (1e-5, 1e-4, 1e-3, 1e-2)
+    min_psnr_db: float = 60.0
+    compression_nodes: int = 16
+    decompression_nodes: int = 8
+    cores_per_node: int = 128
+    group_target_bytes: Optional[int] = None
+    group_world_size: int = 256
+    sentinel_enabled: bool = True
+    sentinel_wait_threshold_s: float = 5.0
+    verify_error_bound: bool = False
+    sample_fraction: float = 0.01
+    size_scale: float = 1.0
+    work_time_scale: Optional[float] = None
+    assumed_compression_throughput_mbps: Optional[float] = None
+    assumed_decompression_throughput_mbps: Optional[float] = None
+    destination_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in VALID_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {VALID_MODES}, got {self.mode!r}"
+            )
+        if self.error_bound <= 0:
+            raise ConfigurationError("error_bound must be positive")
+        if self.compression_nodes < 1 or self.decompression_nodes < 1:
+            raise ConfigurationError("node counts must be >= 1")
+        if self.cores_per_node < 1:
+            raise ConfigurationError("cores_per_node must be >= 1")
+        if self.group_world_size < 1:
+            raise ConfigurationError("group_world_size must be >= 1")
+        if not 0 < self.sample_fraction <= 1:
+            raise ConfigurationError("sample_fraction must be in (0, 1]")
+        if self.size_scale <= 0:
+            raise ConfigurationError("size_scale must be positive")
+        if self.work_time_scale is not None and self.work_time_scale <= 0:
+            raise ConfigurationError("work_time_scale must be positive")
+        for name in ("assumed_compression_throughput_mbps", "assumed_decompression_throughput_mbps"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        # Validate the error-bound mode eagerly.
+        ErrorBoundMode.parse(self.error_bound_mode)
+
+    def resolved_error_bound(self) -> ErrorBound:
+        """Return the configured error bound as an :class:`ErrorBound`."""
+        return ErrorBound(value=self.error_bound, mode=ErrorBoundMode.parse(self.error_bound_mode))
+
+    def total_compression_cores(self) -> int:
+        """Cores available to the parallel compression job."""
+        return self.compression_nodes * self.cores_per_node
+
+    def total_decompression_cores(self) -> int:
+        """Cores available to the parallel decompression job."""
+        return self.decompression_nodes * self.cores_per_node
+
+    def resolved_work_time_scale(self) -> float:
+        """Scale applied to measured per-file (de)compression times.
+
+        Defaults to ``size_scale``: when files are staged at ``size_scale``
+        times their in-memory size, the per-file compute time is scaled by
+        the same factor (compression cost is roughly linear in elements).
+        """
+        return float(self.work_time_scale if self.work_time_scale is not None else self.size_scale)

@@ -1,0 +1,184 @@
+"""The Ocelot client facade.
+
+This is the object users interact with (through Python or the CLI).  It
+bundles the three capabilities described in Section V of the paper:
+
+1. selecting a best-qualified compression configuration with the quality
+   predictor (:meth:`Ocelot.train_predictor`, :meth:`Ocelot.predict_quality`);
+2. reducing transfer time with parallel (de)compression
+   (:meth:`Ocelot.transfer_dataset`);
+3. remote orchestration via the FaaS + transfer services, with analytics
+   collected on the client (:meth:`Ocelot.reports`, :meth:`Ocelot.compare_modes`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import Field, ScientificDataset
+from ..errors import OrchestrationError
+from ..faas.service import FuncXService, build_faas_service
+from ..prediction.quality_model import QualityPrediction, QualityPredictor
+from ..prediction.training import DEFAULT_ERROR_BOUNDS, build_training_records
+from ..transfer.testbed import Testbed, build_testbed
+from .config import OcelotConfig
+from .orchestrator import OcelotOrchestrator
+from .parallel import ParallelCostModel
+from .reporting import ModeComparison, TransferReport
+
+__all__ = ["Ocelot"]
+
+
+class Ocelot:
+    """High-level client for compression-accelerated wide-area transfers."""
+
+    def __init__(
+        self,
+        config: Optional[OcelotConfig] = None,
+        testbed: Optional[Testbed] = None,
+        faas: Optional[FuncXService] = None,
+        predictor: Optional[QualityPredictor] = None,
+        cost_model: Optional[ParallelCostModel] = None,
+    ) -> None:
+        self.config = config or OcelotConfig()
+        self.testbed = testbed or build_testbed()
+        self.faas = faas or build_faas_service(clock=self.testbed.clock)
+        self.predictor = predictor or QualityPredictor(
+            sample_fraction=self.config.sample_fraction
+        )
+        self._cost_model = cost_model
+        self._reports: List[TransferReport] = []
+        self._predict_fn_id = self.faas.register_function(
+            _remote_quality_prediction, name="ocelot_quality_prediction"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Capability 1: quality prediction
+    # ------------------------------------------------------------------ #
+    def train_predictor(
+        self,
+        fields: Iterable[Field],
+        error_bounds: Sequence[float] = DEFAULT_ERROR_BOUNDS,
+        compressors: Optional[Sequence[str]] = None,
+    ) -> QualityPredictor:
+        """Train the quality predictor on measured compression outcomes."""
+        records = build_training_records(
+            fields,
+            error_bounds=error_bounds,
+            compressors=compressors or (self.config.compressor,),
+            sample_fraction=self.config.sample_fraction,
+        )
+        self.predictor.fit(records)
+        return self.predictor
+
+    def predict_quality(
+        self,
+        data: np.ndarray,
+        error_bounds: Optional[Sequence[float]] = None,
+        compressors: Optional[Sequence[str]] = None,
+        endpoint: str = "anvil",
+    ) -> List[QualityPrediction]:
+        """Predict compression quality for candidate configurations.
+
+        The prediction runs "remotely" through the FaaS service (the data
+        stay on the endpoint where they reside; only the small predictions
+        come back), exactly as Ocelot's quality predictor does via FuncX.
+        """
+        if not self.predictor.is_fitted:
+            raise OrchestrationError(
+                "the quality predictor has not been trained; call train_predictor() first"
+            )
+        bounds = list(error_bounds or self.config.candidate_error_bounds)
+        names = list(compressors or [self.config.compressor])
+        task = self.faas.run(
+            endpoint,
+            self._predict_fn_id,
+            args=(self.predictor, data, bounds, names),
+            nodes=1,
+        )
+        return task.result
+
+    def recommend_configuration(
+        self,
+        data: np.ndarray,
+        error_bounds: Optional[Sequence[float]] = None,
+        compressors: Optional[Sequence[str]] = None,
+        min_psnr_db: Optional[float] = None,
+    ) -> QualityPrediction:
+        """Return the best-qualified configuration for ``data``."""
+        if not self.predictor.is_fitted:
+            raise OrchestrationError(
+                "the quality predictor has not been trained; call train_predictor() first"
+            )
+        return self.predictor.recommend(
+            data,
+            error_bounds=list(error_bounds or self.config.candidate_error_bounds),
+            compressors=list(compressors or [self.config.compressor]),
+            min_psnr_db=self.config.min_psnr_db if min_psnr_db is None else min_psnr_db,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Capability 2 + 3: compression-accelerated, remotely orchestrated transfer
+    # ------------------------------------------------------------------ #
+    def _orchestrator(self) -> OcelotOrchestrator:
+        return OcelotOrchestrator(
+            config=self.config,
+            testbed=self.testbed,
+            faas=self.faas,
+            predictor=self.predictor if self.predictor.is_fitted else None,
+            cost_model=self._cost_model,
+        )
+
+    def transfer_dataset(
+        self,
+        dataset: ScientificDataset,
+        source: str,
+        destination: str,
+        mode: Optional[str] = None,
+    ) -> TransferReport:
+        """Transfer a dataset, compressing according to the configuration."""
+        report = self._orchestrator().run(dataset, source, destination, mode=mode)
+        self._reports.append(report)
+        return report
+
+    def compare_modes(
+        self,
+        dataset: ScientificDataset,
+        source: str,
+        destination: str,
+        modes: Sequence[str] = ("direct", "compressed", "grouped"),
+    ) -> ModeComparison:
+        """Run the same transfer under several modes (Table VIII protocol).
+
+        The simulation clock is reset between runs so each mode starts
+        from the same state.
+        """
+        comparison = ModeComparison(dataset=dataset.name, source=source, destination=destination)
+        for mode in modes:
+            self.testbed.clock.reset()
+            report = self.transfer_dataset(dataset, source, destination, mode=mode)
+            comparison.add(report)
+        return comparison
+
+    # ------------------------------------------------------------------ #
+    # Analytics
+    # ------------------------------------------------------------------ #
+    def reports(self) -> List[TransferReport]:
+        """All transfer reports collected by this client."""
+        return list(self._reports)
+
+    def clear_reports(self) -> None:
+        """Discard collected reports."""
+        self._reports.clear()
+
+
+def _remote_quality_prediction(
+    predictor: QualityPredictor,
+    data: np.ndarray,
+    error_bounds: Sequence[float],
+    compressors: Sequence[str],
+) -> List[QualityPrediction]:
+    """FaaS-executed helper: run the predictor sweep next to the data."""
+    return predictor.predict_sweep(data, error_bounds, compressors=compressors)

@@ -1,0 +1,458 @@
+"""The Ocelot orchestrator: plan, compress, group, transfer, decompress.
+
+This is the end-to-end flow of Fig. 1/Fig. 2: the dataset lives on the
+source endpoint; compute nodes are requested from the source site's
+batch scheduler (with the sentinel transferring raw files while the job
+waits); the files are compressed in parallel, optionally grouped, moved
+over the WAN by the Globus-style transfer service, and decompressed in
+parallel at the destination.  Compression and decompression are *really*
+performed (on the synthetic data), while cluster-scale timing (node
+counts, queue waits, WAN bandwidth) comes from the simulation substrates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compression import CompressedBlob, create_compressor
+from ..datasets.base import Field, ScientificDataset
+from ..errors import OrchestrationError
+from ..faas.service import FuncXService, build_faas_service
+from ..prediction.quality_model import QualityPredictor
+from ..transfer.gridftp import GridFTPEngine
+from ..transfer.service import TransferRequest
+from ..transfer.testbed import Testbed, build_testbed
+from ..utils.stats import psnr as compute_psnr
+from .config import OcelotConfig
+from .grouping import FileGrouper
+from .parallel import ParallelCostModel, ParallelExecutor
+from .planner import CompressionPlan, CompressionPlanner
+from .reporting import PhaseTimings, TransferReport
+from .sentinel import Sentinel
+
+__all__ = ["OcelotOrchestrator", "StagedFile"]
+
+
+@dataclass
+class StagedFile:
+    """A dataset file staged on the source endpoint."""
+
+    path: str
+    field: Field
+
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            self.size_bytes = self.field.nbytes
+
+
+@dataclass
+class _CompressionOutcome:
+    """Results of really compressing a batch of staged files."""
+
+    blobs: List[Tuple[str, bytes]] = field(default_factory=list)
+    per_file_times_s: List[float] = field(default_factory=list)
+    per_file_output_bytes: List[int] = field(default_factory=list)
+    original_bytes: int = 0
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Total compressed output size."""
+        return sum(self.per_file_output_bytes)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio over the compressed subset."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+
+class OcelotOrchestrator:
+    """Drive one dataset transfer end to end."""
+
+    def __init__(
+        self,
+        config: OcelotConfig,
+        testbed: Optional[Testbed] = None,
+        faas: Optional[FuncXService] = None,
+        predictor: Optional[QualityPredictor] = None,
+        cost_model: Optional[ParallelCostModel] = None,
+    ) -> None:
+        self.config = config
+        self.testbed = testbed or build_testbed()
+        self.faas = faas or build_faas_service(clock=self.testbed.clock)
+        self.planner = CompressionPlanner(config, predictor=predictor)
+        self.executor = ParallelExecutor(cost_model=cost_model)
+        self.grouper = FileGrouper()
+        self.sentinel = Sentinel(self.testbed.service.default_settings)
+
+    # ------------------------------------------------------------------ #
+    # Staging
+    # ------------------------------------------------------------------ #
+    def stage(self, dataset: ScientificDataset, source: str) -> List[StagedFile]:
+        """Stage a dataset's files onto the source endpoint's filesystem."""
+        endpoint = self.testbed.endpoint(source)
+        prefix = f"/data/{dataset.name}"
+        staged: List[StagedFile] = []
+        for data_field in dataset:
+            path = f"{prefix}/{data_field.filename}"
+            if not endpoint.filesystem.exists(path):
+                endpoint.filesystem.write(
+                    path,
+                    size_bytes=int(data_field.nbytes * self.config.size_scale),
+                    metadata={"field": data_field.name, "snapshot": str(data_field.snapshot)},
+                )
+            staged.append(
+                StagedFile(
+                    path=path,
+                    field=data_field,
+                    size_bytes=int(data_field.nbytes * self.config.size_scale),
+                )
+            )
+        if not staged:
+            raise OrchestrationError(f"dataset {dataset.name!r} contains no files to stage")
+        return staged
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        dataset: ScientificDataset,
+        source: str,
+        destination: str,
+        mode: Optional[str] = None,
+    ) -> TransferReport:
+        """Transfer ``dataset`` from ``source`` to ``destination``.
+
+        ``mode`` overrides the configured transfer mode for this run
+        (``direct`` / ``compressed`` / ``grouped``).
+        """
+        mode = mode or self.config.mode
+        if mode not in ("direct", "compressed", "grouped"):
+            raise OrchestrationError(f"unknown transfer mode {mode!r}")
+        staged = self.stage(dataset, source)
+        direct_estimate_s = self._estimate_direct_transfer(staged, source, destination)
+        if mode == "direct":
+            return self._run_direct(dataset, staged, source, destination, direct_estimate_s)
+        return self._run_compressed(
+            dataset, staged, source, destination, mode, direct_estimate_s
+        )
+
+    # ------------------------------------------------------------------ #
+    # Direct (NP) transfers
+    # ------------------------------------------------------------------ #
+    def _estimate_direct_transfer(
+        self, staged: List[StagedFile], source: str, destination: str
+    ) -> float:
+        link = self.testbed.service.topology.link(source, destination)
+        src = self.testbed.endpoint(source)
+        dst = self.testbed.endpoint(destination)
+        engine = GridFTPEngine(settings=self.testbed.service.default_settings)
+        estimate = engine.estimate(
+            [f.size_bytes for f in staged],
+            link,
+            storage_read_bps=src.storage_read_bps * src.dtn_count,
+            storage_write_bps=dst.storage_write_bps * dst.dtn_count,
+        )
+        return estimate.duration_s
+
+    def _run_direct(
+        self,
+        dataset: ScientificDataset,
+        staged: List[StagedFile],
+        source: str,
+        destination: str,
+        direct_estimate_s: float,
+    ) -> TransferReport:
+        task = self.testbed.service.submit(
+            TransferRequest(
+                source_endpoint=source,
+                destination_endpoint=destination,
+                paths=[f.path for f in staged],
+                destination_prefix=self.config.destination_prefix,
+                label=f"{dataset.name}:direct",
+            )
+        )
+        timings = PhaseTimings(transfer_s=task.duration_s)
+        return TransferReport(
+            dataset=dataset.name,
+            mode="direct",
+            source=source,
+            destination=destination,
+            file_count=len(staged),
+            total_bytes=sum(f.size_bytes for f in staged),
+            transferred_files=len(staged),
+            transferred_bytes=task.bytes_transferred,
+            compression_ratio=1.0,
+            timings=timings,
+            direct_transfer_s=direct_estimate_s,
+            compressor="",
+            error_bound="",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Compressed (CP) and grouped (OP) transfers
+    # ------------------------------------------------------------------ #
+    def _run_compressed(
+        self,
+        dataset: ScientificDataset,
+        staged: List[StagedFile],
+        source: str,
+        destination: str,
+        mode: str,
+        direct_estimate_s: float,
+    ) -> TransferReport:
+        src_endpoint = self.testbed.endpoint(source)
+        dst_endpoint = self.testbed.endpoint(destination)
+        link = self.testbed.service.topology.link(source, destination)
+        timings = PhaseTimings()
+        notes: List[str] = []
+
+        # 1. Plan the compression configuration.
+        plan_start = time.perf_counter()
+        plan = self.planner.plan(representative=staged[0].field)
+        timings.planning_s = time.perf_counter() - plan_start if plan.used_predictor else 0.0
+
+        # 2. Request compute nodes for the compression job (capped at the
+        # size of the source site's partition).
+        scheduler = self.faas.endpoint(source).scheduler
+        compression_nodes = min(self.config.compression_nodes, scheduler.total_nodes)
+        allocation = scheduler.request(compression_nodes, now=self.testbed.clock.now)
+        timings.node_wait_s = allocation.wait_s
+
+        # 3. Sentinel: transfer raw files while waiting for nodes.
+        raw_paths: List[str] = []
+        to_compress = list(staged)
+        if self.config.sentinel_enabled and allocation.wait_s > self.config.sentinel_wait_threshold_s:
+            decision = self.sentinel.plan(
+                [(f.path, f.size_bytes) for f in staged],
+                wait_s=allocation.wait_s,
+                link=link,
+                threshold_s=self.config.sentinel_wait_threshold_s,
+            )
+            raw_paths = decision.raw_paths
+            timings.raw_transfer_s = decision.raw_transfer_s
+            raw_set = set(raw_paths)
+            to_compress = [f for f in staged if f.path not in raw_set]
+            if raw_paths:
+                dst_endpoint.filesystem.copy_from(src_endpoint.filesystem, raw_paths)
+                notes.append(
+                    f"sentinel transferred {len(raw_paths)} files raw during a "
+                    f"{allocation.wait_s:.0f}s node wait"
+                )
+
+        # 4. Really compress the remaining files.  Cluster-scale timing uses
+        # either the measured per-file times (scaled by work_time_scale) or
+        # an assumed native-compressor throughput when configured.
+        outcome = self._compress_files(to_compress, plan, source)
+        if self.config.assumed_compression_throughput_mbps:
+            throughput = self.config.assumed_compression_throughput_mbps * 1e6
+            per_file_times = [f.size_bytes / throughput for f in to_compress]
+            time_scale = 1.0
+        else:
+            per_file_times = outcome.per_file_times_s
+            time_scale = self.config.resolved_work_time_scale()
+        makespan = self.executor.compression_makespan(
+            per_file_times,
+            outcome.per_file_output_bytes,
+            nodes=compression_nodes,
+            cores_per_node=self.config.cores_per_node,
+            time_scale=time_scale,
+        )
+        timings.compression_s = makespan.makespan_s
+        self.testbed.clock.advance(max(timings.node_wait_s, timings.raw_transfer_s))
+        self.testbed.clock.advance(timings.compression_s)
+        scheduler.release(allocation)
+
+        # 5. Optionally group the compressed files.
+        if mode == "grouped" and outcome.blobs:
+            group_prefix = f"/groups/{dataset.name}"
+            groups, plan_info = self.grouper.build_groups(
+                outcome.blobs,
+                world_size=None if self.config.group_target_bytes else self.config.group_world_size,
+                target_bytes=self.config.group_target_bytes,
+                prefix=f"{dataset.name}",
+            )
+            grouped_bytes = 0
+            transfer_paths = []
+            for group in groups:
+                path = f"{group_prefix}/{group.name}"
+                src_endpoint.filesystem.write(
+                    path,
+                    data=group.payload,
+                    size_bytes=int(group.size_bytes * self.config.size_scale),
+                )
+                transfer_paths.append(path)
+                grouped_bytes += int(group.size_bytes * self.config.size_scale)
+            metadata_path = f"{group_prefix}/metadata.txt"
+            src_endpoint.filesystem.write(
+                metadata_path, data=plan_info.metadata_text().encode("utf-8")
+            )
+            transfer_paths.append(metadata_path)
+            timings.grouping_s = grouped_bytes / self.executor.cost_model.pfs_write_bps * 2.0
+            notes.append(f"grouped {len(outcome.blobs)} compressed files into {len(groups)} groups")
+        elif outcome.blobs:
+            transfer_paths = []
+            for name, payload in outcome.blobs:
+                path = f"/compressed/{dataset.name}/{name}.sz"
+                src_endpoint.filesystem.write(
+                    path, data=payload, size_bytes=int(len(payload) * self.config.size_scale)
+                )
+                transfer_paths.append(path)
+        else:
+            transfer_paths = []
+
+        # 6. Transfer the compressed artefacts over the WAN.
+        transferred_bytes = 0
+        if transfer_paths:
+            task = self.testbed.service.submit(
+                TransferRequest(
+                    source_endpoint=source,
+                    destination_endpoint=destination,
+                    paths=transfer_paths,
+                    destination_prefix=self.config.destination_prefix,
+                    label=f"{dataset.name}:{mode}",
+                )
+            )
+            timings.transfer_s = task.duration_s
+            transferred_bytes = task.bytes_transferred
+        transferred_bytes += sum(
+            f.size_bytes for f in staged if f.path in set(raw_paths)
+        )
+
+        # 7. Decompress at the destination.
+        quality = self._decompress_and_verify(
+            dataset, to_compress, transfer_paths, destination, mode, timings
+        )
+
+        original_bytes = sum(f.size_bytes for f in staged)
+        ratio = outcome.ratio if outcome.blobs else 1.0
+        report = TransferReport(
+            dataset=dataset.name,
+            mode=mode,
+            source=source,
+            destination=destination,
+            file_count=len(staged),
+            total_bytes=original_bytes,
+            transferred_files=len(transfer_paths) + len(raw_paths),
+            transferred_bytes=transferred_bytes,
+            compression_ratio=ratio,
+            timings=timings,
+            direct_transfer_s=direct_estimate_s,
+            compressor=plan.compressor,
+            error_bound=plan.error_bound.describe(),
+            predicted_quality=plan.predicted.as_dict() if plan.predicted else None,
+            measured_psnr_db=quality.get("psnr"),
+            max_abs_error=quality.get("max_abs_error"),
+            notes=notes,
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _compress_files(
+        self, staged: List[StagedFile], plan: CompressionPlan, source: str
+    ) -> _CompressionOutcome:
+        """Compress staged files for real, recording per-file cost."""
+        outcome = _CompressionOutcome()
+        if not staged:
+            return outcome
+        compressor = create_compressor(plan.compressor)
+        for staged_file in staged:
+            start = time.perf_counter()
+            result = compressor.compress(
+                staged_file.field.data,
+                plan.error_bound,
+                verify=self.config.verify_error_bound,
+            )
+            elapsed = time.perf_counter() - start
+            payload = result.blob.to_bytes()
+            outcome.blobs.append((staged_file.field.filename, payload))
+            outcome.per_file_times_s.append(elapsed)
+            outcome.per_file_output_bytes.append(int(len(payload) * self.config.size_scale))
+            outcome.original_bytes += staged_file.size_bytes
+        return outcome
+
+    def _decompress_and_verify(
+        self,
+        dataset: ScientificDataset,
+        compressed_files: List[StagedFile],
+        transfer_paths: List[str],
+        destination: str,
+        mode: str,
+        timings: PhaseTimings,
+    ) -> Dict[str, float]:
+        """Really decompress at the destination; fill in decompression timing."""
+        if not transfer_paths:
+            return {}
+        dst_endpoint = self.testbed.endpoint(destination)
+        originals: Dict[str, Field] = {f.field.filename: f.field for f in compressed_files}
+        per_file_times: List[float] = []
+        per_file_output_bytes: List[int] = []
+        psnr_values: List[float] = []
+        max_errors: List[float] = []
+        blobs: List[Tuple[str, bytes]] = []
+        for path in transfer_paths:
+            entry = dst_endpoint.filesystem.stat(path)
+            if entry.data is None:
+                continue
+            if path.endswith("metadata.txt"):
+                continue
+            if mode == "grouped":
+                blobs.extend(self.grouper.unpack(entry.data))
+            else:
+                name = path.rsplit("/", 1)[-1]
+                if name.endswith(".sz"):
+                    name = name[:-3]
+                blobs.append((name, entry.data))
+        for name, payload in blobs:
+            start = time.perf_counter()
+            blob = CompressedBlob.from_bytes(payload)
+            compressor = create_compressor(blob.compressor)
+            recon = compressor.decompress(blob)
+            elapsed = time.perf_counter() - start
+            per_file_times.append(elapsed)
+            per_file_output_bytes.append(int(recon.nbytes * self.config.size_scale))
+            original = originals.get(name)
+            if original is not None:
+                data = np.asarray(original.data, dtype=np.float64)
+                recon64 = np.asarray(recon, dtype=np.float64)
+                psnr_values.append(compute_psnr(data, recon64))
+                max_errors.append(float(np.max(np.abs(data - recon64))))
+            dst_endpoint.filesystem.write(
+                f"/decompressed/{dataset.name}/{name}",
+                size_bytes=int(recon.nbytes * self.config.size_scale),
+            )
+        if per_file_times:
+            if self.config.assumed_decompression_throughput_mbps:
+                throughput = self.config.assumed_decompression_throughput_mbps * 1e6
+                per_file_times = [size / throughput for size in per_file_output_bytes]
+                time_scale = 1.0
+            else:
+                time_scale = self.config.resolved_work_time_scale()
+            decompression_nodes = min(
+                self.config.decompression_nodes,
+                self.faas.endpoint(destination).scheduler.total_nodes,
+            )
+            makespan = self.executor.decompression_makespan(
+                per_file_times,
+                per_file_output_bytes,
+                nodes=decompression_nodes,
+                cores_per_node=self.config.cores_per_node,
+                time_scale=time_scale,
+            )
+            timings.decompression_s = makespan.makespan_s
+            self.testbed.clock.advance(timings.decompression_s)
+        finite_psnr = [p for p in psnr_values if np.isfinite(p)]
+        quality: Dict[str, float] = {}
+        if finite_psnr:
+            quality["psnr"] = float(np.mean(finite_psnr))
+        if max_errors:
+            quality["max_abs_error"] = float(np.max(max_errors))
+        return quality

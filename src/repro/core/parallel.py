@@ -1,0 +1,187 @@
+"""Parallel (de)compression executor and scaling model.
+
+Two concerns live here:
+
+1. **Really doing the work** — compressing/decompressing the files of a
+   dataset, optionally across local worker threads, measuring per-file
+   wall time.
+2. **Modelling the cluster** — converting measured per-file times into
+   the makespan a multi-node MPI job would achieve.  Compression scales
+   with cores until the number of files saturates the parallelism
+   (Fig. 9 left); decompression is limited by parallel-filesystem write
+   contention, so beyond a few nodes it *slows down* (Fig. 9 right).
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = ["ParallelCostModel", "MakespanEstimate", "ParallelExecutor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass
+class MakespanEstimate:
+    """Simulated makespan of a parallel job built from per-file timings."""
+
+    makespan_s: float
+    compute_s: float
+    io_s: float
+    cores_used: int
+    nodes: int
+    files: int
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Speed-up relative to running all files on one core."""
+        serial = self.compute_s
+        return serial / self.makespan_s if self.makespan_s > 0 else float("inf")
+
+
+@dataclass
+class ParallelCostModel:
+    """Cluster parameters for the makespan model.
+
+    ``pfs_write_bps`` and ``writer_saturation_cores`` control the
+    decompression-side I/O contention: the effective parallel-filesystem
+    write bandwidth degrades as ``1 / (1 + (writers / saturation)^gamma)``,
+    which yields the non-monotonic decompression scaling of Fig. 9.
+    """
+
+    parallel_efficiency: float = 0.9
+    startup_s_per_node: float = 0.05
+    pfs_write_bps: float = 40e9
+    pfs_read_bps: float = 80e9
+    writer_saturation_cores: int = 256
+    io_contention_gamma: float = 1.6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.parallel_efficiency <= 1:
+            raise ConfigurationError("parallel_efficiency must be in (0, 1]")
+        if self.pfs_write_bps <= 0 or self.pfs_read_bps <= 0:
+            raise ConfigurationError("filesystem bandwidths must be positive")
+        if self.writer_saturation_cores < 1:
+            raise ConfigurationError("writer_saturation_cores must be >= 1")
+
+    def write_bandwidth(self, writers: int) -> float:
+        """Aggregate write bandwidth achieved by ``writers`` concurrent writers."""
+        ratio = max(0.0, writers / self.writer_saturation_cores)
+        return self.pfs_write_bps / (1.0 + ratio**self.io_contention_gamma)
+
+    def read_bandwidth(self, readers: int) -> float:
+        """Aggregate read bandwidth achieved by ``readers`` concurrent readers."""
+        ratio = max(0.0, readers / (self.writer_saturation_cores * 4))
+        return self.pfs_read_bps / (1.0 + ratio**self.io_contention_gamma)
+
+
+def _lpt_makespan(times: Sequence[float], workers: int) -> float:
+    """Longest-processing-time greedy schedule makespan."""
+    if not times:
+        return 0.0
+    workers = max(1, workers)
+    heap = [0.0] * min(workers, len(times))
+    heapq.heapify(heap)
+    for cost in sorted(times, reverse=True):
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + cost)
+    return max(heap)
+
+
+class ParallelExecutor:
+    """Run per-file work and model its parallel execution on a cluster."""
+
+    def __init__(
+        self,
+        cost_model: Optional[ParallelCostModel] = None,
+        local_workers: int = 1,
+    ) -> None:
+        if local_workers < 1:
+            raise ConfigurationError("local_workers must be >= 1")
+        self.cost_model = cost_model or ParallelCostModel()
+        self.local_workers = local_workers
+
+    # ------------------------------------------------------------------ #
+    # Real execution
+    # ------------------------------------------------------------------ #
+    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``func`` to every item, optionally with local worker threads."""
+        if self.local_workers == 1 or len(items) <= 1:
+            return [func(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.local_workers) as pool:
+            return list(pool.map(func, items))
+
+    # ------------------------------------------------------------------ #
+    # Cluster makespan models
+    # ------------------------------------------------------------------ #
+    def compression_makespan(
+        self,
+        per_file_times_s: Sequence[float],
+        per_file_output_bytes: Sequence[int],
+        nodes: int,
+        cores_per_node: int,
+        time_scale: float = 1.0,
+    ) -> MakespanEstimate:
+        """Makespan of a parallel compression job.
+
+        Reads are cheap relative to compression compute, so the model is
+        compute-bound: LPT scheduling of the per-file times over the
+        effective core count, plus node start-up and the (rarely binding)
+        output-write time.
+        """
+        times = [t * time_scale for t in per_file_times_s]
+        if nodes < 1 or cores_per_node < 1:
+            raise ConfigurationError("nodes and cores_per_node must be >= 1")
+        effective_cores = max(1, int(nodes * cores_per_node * self.cost_model.parallel_efficiency))
+        cores_used = min(effective_cores, max(1, len(times)))
+        compute = _lpt_makespan(times, effective_cores)
+        writers = min(cores_used, len(times)) if times else 1
+        io_time = sum(per_file_output_bytes) / self.cost_model.write_bandwidth(writers)
+        makespan = compute + io_time + self.cost_model.startup_s_per_node * nodes
+        return MakespanEstimate(
+            makespan_s=float(makespan),
+            compute_s=float(sum(times)),
+            io_s=float(io_time),
+            cores_used=cores_used,
+            nodes=nodes,
+            files=len(times),
+        )
+
+    def decompression_makespan(
+        self,
+        per_file_times_s: Sequence[float],
+        per_file_output_bytes: Sequence[int],
+        nodes: int,
+        cores_per_node: int,
+        time_scale: float = 1.0,
+    ) -> MakespanEstimate:
+        """Makespan of a parallel decompression job.
+
+        Every worker writes its reconstructed (full-size) output back to
+        the shared parallel filesystem, so write contention grows with the
+        number of active cores; beyond a few nodes the I/O term dominates
+        and adding nodes makes the job slower (Fig. 9 right).
+        """
+        times = [t * time_scale for t in per_file_times_s]
+        if nodes < 1 or cores_per_node < 1:
+            raise ConfigurationError("nodes and cores_per_node must be >= 1")
+        effective_cores = max(1, int(nodes * cores_per_node * self.cost_model.parallel_efficiency))
+        cores_used = min(effective_cores, max(1, len(times)))
+        compute = _lpt_makespan(times, effective_cores)
+        writers = cores_used
+        io_time = sum(per_file_output_bytes) / self.cost_model.write_bandwidth(writers)
+        makespan = compute + io_time + self.cost_model.startup_s_per_node * nodes
+        return MakespanEstimate(
+            makespan_s=float(makespan),
+            compute_s=float(sum(times)),
+            io_s=float(io_time),
+            cores_used=cores_used,
+            nodes=nodes,
+            files=len(times),
+        )

@@ -1,0 +1,199 @@
+"""Transfer reports: per-phase timings and end-to-end comparisons.
+
+Ocelot stores analytics about every transfer on the user's machine; the
+report objects here are that record, and their fields line up with the
+columns of Table VIII (T/Speed for NP/CP/OP, CPTime, DPTime, Total T,
+performance gain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Optional
+
+from ..utils.sizes import format_bytes, format_duration, format_rate
+
+__all__ = ["PhaseTimings", "TransferReport", "ModeComparison"]
+
+
+@dataclass
+class PhaseTimings:
+    """Per-phase simulated durations of one Ocelot transfer."""
+
+    node_wait_s: float = 0.0
+    planning_s: float = 0.0
+    compression_s: float = 0.0
+    grouping_s: float = 0.0
+    transfer_s: float = 0.0
+    raw_transfer_s: float = 0.0
+    decompression_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end duration.
+
+        The sentinel overlaps raw transfer with node waiting, so the wait
+        phase contributes ``max(node_wait, raw transfer)``; all remaining
+        phases are sequential (matching the paper's Total T accounting).
+        """
+        waiting = max(self.node_wait_s, self.raw_transfer_s)
+        return (
+            waiting
+            + self.planning_s
+            + self.compression_s
+            + self.grouping_s
+            + self.transfer_s
+            + self.decompression_s
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return all phases plus the total as a dictionary."""
+        data = asdict(self)
+        data["total_s"] = self.total_s
+        return data
+
+
+@dataclass
+class TransferReport:
+    """Complete record of one dataset transfer."""
+
+    dataset: str
+    mode: str
+    source: str
+    destination: str
+    file_count: int
+    total_bytes: int
+    transferred_files: int
+    transferred_bytes: int
+    compression_ratio: float
+    timings: PhaseTimings
+    direct_transfer_s: Optional[float] = None
+    compressor: str = ""
+    error_bound: str = ""
+    predicted_quality: Optional[Dict[str, float]] = None
+    measured_psnr_db: Optional[float] = None
+    max_abs_error: Optional[float] = None
+    notes: List[str] = field(default_factory=list)
+    per_file: List[Dict[str, float]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_s(self) -> float:
+        """End-to-end duration of this transfer."""
+        return self.timings.total_s
+
+    @property
+    def effective_speed_bps(self) -> float:
+        """Original dataset bytes divided by the end-to-end time."""
+        if self.total_s <= 0:
+            return float("inf")
+        return self.total_bytes / self.total_s
+
+    @property
+    def wire_speed_bps(self) -> float:
+        """Bytes actually moved over the WAN divided by the transfer phase time."""
+        if self.timings.transfer_s <= 0:
+            return float("inf")
+        return self.transferred_bytes / self.timings.transfer_s
+
+    @property
+    def gain_vs_direct(self) -> Optional[float]:
+        """The paper's "Reduced" column: ``(T_direct - Total T) / T_direct``."""
+        if self.direct_transfer_s is None or self.direct_transfer_s <= 0:
+            return None
+        return (self.direct_transfer_s - self.total_s) / self.direct_transfer_s
+
+    @property
+    def speedup_vs_direct(self) -> Optional[float]:
+        """End-to-end speed-up relative to the direct (no compression) transfer."""
+        if self.direct_transfer_s is None or self.total_s <= 0:
+            return None
+        return self.direct_transfer_s / self.total_s
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the report to a dictionary (for JSON/analysis tooling)."""
+        return {
+            "dataset": self.dataset,
+            "mode": self.mode,
+            "source": self.source,
+            "destination": self.destination,
+            "file_count": self.file_count,
+            "total_bytes": self.total_bytes,
+            "transferred_files": self.transferred_files,
+            "transferred_bytes": self.transferred_bytes,
+            "compression_ratio": self.compression_ratio,
+            "compressor": self.compressor,
+            "error_bound": self.error_bound,
+            "timings": self.timings.as_dict(),
+            "direct_transfer_s": self.direct_transfer_s,
+            "total_s": self.total_s,
+            "gain_vs_direct": self.gain_vs_direct,
+            "measured_psnr_db": self.measured_psnr_db,
+            "max_abs_error": self.max_abs_error,
+            "notes": list(self.notes),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"Transfer of {self.dataset!r}: {self.source} -> {self.destination} [{self.mode}]",
+            f"  files: {self.file_count}  volume: {format_bytes(self.total_bytes)}"
+            f"  wire volume: {format_bytes(self.transferred_bytes)}"
+            f"  ratio: {self.compression_ratio:.2f}x",
+            f"  phases: wait {format_duration(self.timings.node_wait_s)}"
+            f" | compress {format_duration(self.timings.compression_s)}"
+            f" | transfer {format_duration(self.timings.transfer_s)}"
+            f" | decompress {format_duration(self.timings.decompression_s)}",
+            f"  total: {format_duration(self.total_s)}"
+            f"  effective: {format_rate(self.effective_speed_bps)}",
+        ]
+        if self.direct_transfer_s is not None:
+            gain = self.gain_vs_direct or 0.0
+            lines.append(
+                f"  direct transfer: {format_duration(self.direct_transfer_s)}"
+                f"  reduction: {gain * 100:.0f}%"
+            )
+        if self.measured_psnr_db is not None:
+            lines.append(f"  quality: PSNR {self.measured_psnr_db:.1f} dB")
+        return "\n".join(lines)
+
+
+@dataclass
+class ModeComparison:
+    """Reports for the same dataset/route under different transfer modes."""
+
+    dataset: str
+    source: str
+    destination: str
+    reports: Dict[str, TransferReport] = field(default_factory=dict)
+
+    def add(self, report: TransferReport) -> None:
+        """Record a report under its mode name."""
+        self.reports[report.mode] = report
+
+    def table_row(self) -> Dict[str, object]:
+        """One Table VIII-style row comparing the recorded modes."""
+        direct = self.reports.get("direct")
+        compressed = self.reports.get("compressed")
+        grouped = self.reports.get("grouped")
+        row: Dict[str, object] = {
+            "dataset": self.dataset,
+            "direction": f"{self.source}->{self.destination}",
+        }
+        if direct:
+            row["T(NP)_s"] = round(direct.timings.transfer_s, 2)
+            row["Speed(NP)_MBps"] = round(direct.wire_speed_bps / 1e6, 1)
+        if compressed:
+            row["T(CP)_s"] = round(compressed.timings.transfer_s, 2)
+            row["Speed(CP)_MBps"] = round(compressed.wire_speed_bps / 1e6, 1)
+        if grouped:
+            row["T(OP)_s"] = round(grouped.timings.transfer_s, 2)
+            row["Speed(OP)_MBps"] = round(grouped.wire_speed_bps / 1e6, 1)
+        best = grouped or compressed
+        if best:
+            row["CPTime_s"] = round(best.timings.compression_s, 2)
+            row["DPTime_s"] = round(best.timings.decompression_s, 2)
+            row["TotalT_s"] = round(best.total_s, 2)
+            if best.gain_vs_direct is not None:
+                row["Reduced_pct"] = round(100 * best.gain_vs_direct, 1)
+        return row

@@ -1,0 +1,212 @@
+"""Application specifications: field lists, dimensions and value ranges.
+
+The paper's Table I and Table IV document the applications used in the
+evaluation.  Each :class:`ApplicationSpec` records the full-resolution
+dimensions from Table IV, the per-field value ranges from Table I (where
+published) and a generator style that controls how compressible the
+synthetic fields are.  Generation applies a ``scale`` factor so that the
+benchmark suite runs on laptop-sized data while keeping the same number
+of dimensions and relative field characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import DatasetError
+
+__all__ = [
+    "FieldSpec",
+    "ApplicationSpec",
+    "APPLICATIONS",
+    "application_names",
+    "get_application_spec",
+]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Specification of one field within an application."""
+
+    name: str
+    minimum: float
+    maximum: float
+    style: str = "spectral"
+    beta: float = 3.0
+    noise_level: float = 0.0
+
+    @property
+    def value_range(self) -> float:
+        """The field's value range (max - min)."""
+        return self.maximum - self.minimum
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Specification of one scientific application's dataset."""
+
+    name: str
+    science: str
+    full_dimensions: Tuple[int, ...]
+    fields: Tuple[FieldSpec, ...]
+    snapshots: int = 1
+    notes: str = ""
+
+    def scaled_dimensions(self, scale: float) -> Tuple[int, ...]:
+        """Dimensions after applying a linear ``scale`` factor (min 8 per axis)."""
+        if scale <= 0 or scale > 1:
+            raise DatasetError(f"scale must be in (0, 1], got {scale}")
+        return tuple(max(8, int(round(d * scale))) for d in self.full_dimensions)
+
+    def field_names(self) -> List[str]:
+        """Names of the fields defined for this application."""
+        return [f.name for f in self.fields]
+
+
+# --------------------------------------------------------------------------- #
+# Application catalogue
+# --------------------------------------------------------------------------- #
+_CESM_FIELDS = (
+    # Value ranges for CLDHGH / FLDSC / PCONVT come from Table I; the other
+    # fields appear in Tables VI and use representative climate ranges.
+    FieldSpec("CLDHGH", 0.0, 0.92, style="spectral", beta=3.2, noise_level=0.002),
+    FieldSpec("FLDSC", 92.84, 418.24, style="spectral", beta=3.5, noise_level=0.001),
+    FieldSpec("PCONVT", 39025.27, 103207.45, style="spectral", beta=3.0, noise_level=0.002),
+    FieldSpec("TMQ", 0.3, 72.5, style="spectral", beta=3.4, noise_level=0.001),
+    FieldSpec("CLDMED", 0.0, 1.0, style="spectral", beta=2.6, noise_level=0.01),
+    FieldSpec("TROP_Z", 4500.0, 18500.0, style="spectral", beta=3.8, noise_level=0.0005),
+    FieldSpec("ICEFRAC", 0.0, 1.0, style="spectral", beta=2.4, noise_level=0.02),
+    FieldSpec("PSL", 95000.0, 105000.0, style="spectral", beta=3.6, noise_level=0.001),
+    FieldSpec("FLNSC", 20.0, 450.0, style="spectral", beta=3.2, noise_level=0.002),
+    FieldSpec("LHFLX", -60.0, 700.0, style="spectral", beta=2.9, noise_level=0.005),
+    FieldSpec("SNOWHICE", 0.0, 1.3, style="spectral", beta=2.2, noise_level=0.03),
+    FieldSpec("TREFHT", 210.0, 315.0, style="spectral", beta=3.7, noise_level=0.0005),
+    FieldSpec("FSDTOA", 0.0, 1370.0, style="spectral", beta=4.0, noise_level=0.0),
+)
+
+_RTM_FIELDS = (
+    FieldSpec("snapshot", -1.0, 1.0, style="wave", beta=2.0, noise_level=0.01),
+)
+
+_MIRANDA_FIELDS = (
+    FieldSpec("density", 0.9, 2.5, style="spectral", beta=2.8, noise_level=0.002),
+    FieldSpec("velocityx", -3.0, 3.0, style="spectral", beta=2.9, noise_level=0.002),
+    FieldSpec("velocityy", -3.0, 3.0, style="spectral", beta=2.9, noise_level=0.002),
+    FieldSpec("velocityz", -3.0, 3.0, style="spectral", beta=2.9, noise_level=0.002),
+    FieldSpec("pressure", 0.5, 8.0, style="spectral", beta=3.1, noise_level=0.001),
+    FieldSpec("diffusivity", 0.0, 1.0, style="spectral", beta=2.3, noise_level=0.01),
+    FieldSpec("viscosity", 0.0, 0.4, style="spectral", beta=2.5, noise_level=0.005),
+    FieldSpec("magvort", 0.0, 60.0, style="spectral", beta=1.9, noise_level=0.02),
+)
+
+_NYX_FIELDS = (
+    FieldSpec("baryon_density", 0.01, 5000.0, style="lognormal", beta=2.4, noise_level=0.0),
+    FieldSpec("dark_matter_density", 0.0, 12000.0, style="lognormal", beta=2.2, noise_level=0.0),
+    FieldSpec("temperature", 1000.0, 5e6, style="lognormal", beta=2.6, noise_level=0.0),
+    FieldSpec("velocity_x", -3.5e7, 3.5e7, style="spectral", beta=3.0, noise_level=0.001),
+    FieldSpec("velocity_y", -3.5e7, 3.5e7, style="spectral", beta=3.0, noise_level=0.001),
+    FieldSpec("velocity_z", -3.5e7, 3.5e7, style="spectral", beta=3.0, noise_level=0.001),
+)
+
+_ISABEL_FIELDS = (
+    FieldSpec("TEMPERATURE", -83.0, 31.5, style="vortex", beta=3.2, noise_level=0.002),
+    FieldSpec("PRESSURE", -5471.0, 3225.0, style="vortex", beta=3.4, noise_level=0.002),
+    FieldSpec("SPEED", 0.0, 79.5, style="vortex", beta=2.8, noise_level=0.005),
+    FieldSpec("QVAPOR", 0.0, 0.024, style="vortex", beta=2.6, noise_level=0.01),
+    FieldSpec("CLOUD", 0.0, 0.0033, style="vortex", beta=2.0, noise_level=0.05),
+    FieldSpec("PRECIP", 0.0, 0.0173, style="vortex", beta=2.1, noise_level=0.05),
+    FieldSpec("QSNOW", 0.0, 0.0014, style="vortex", beta=2.2, noise_level=0.04),
+    FieldSpec("W", -9.5, 28.6, style="vortex", beta=2.5, noise_level=0.01),
+    FieldSpec("P", -5471.0, 3225.0, style="vortex", beta=3.4, noise_level=0.002),
+)
+
+_QMCPACK_FIELDS = (
+    FieldSpec("einspline", -1.2, 1.2, style="wave", beta=2.0, noise_level=0.002),
+)
+
+_HACC_FIELDS = (
+    # HACC particle data is nearly incompressible (velocities are close to
+    # white noise at the per-particle level); Table I gives vx/xx ranges.
+    FieldSpec("vx", -3846.21, 4031.25, style="spectral", beta=0.6, noise_level=0.5),
+    FieldSpec("vy", -3800.0, 3900.0, style="spectral", beta=0.6, noise_level=0.5),
+    FieldSpec("vz", -3700.0, 3950.0, style="spectral", beta=0.6, noise_level=0.5),
+    FieldSpec("xx", 0.0, 256.0, style="spectral", beta=1.2, noise_level=0.2),
+    FieldSpec("yy", 0.0, 256.0, style="spectral", beta=1.2, noise_level=0.2),
+    FieldSpec("zz", 0.0, 256.0, style="spectral", beta=1.2, noise_level=0.2),
+)
+
+APPLICATIONS: Dict[str, ApplicationSpec] = {
+    "cesm": ApplicationSpec(
+        name="cesm",
+        science="Climate",
+        full_dimensions=(1800, 3600),
+        fields=_CESM_FIELDS,
+        snapshots=61,
+        notes="CESM-LE atmosphere model output; 2-D lat/lon fields.",
+    ),
+    "rtm": ApplicationSpec(
+        name="rtm",
+        science="Seismic imaging (Reverse Time Migration)",
+        full_dimensions=(449, 449, 235),
+        fields=_RTM_FIELDS,
+        snapshots=3601,
+        notes="Wavefield snapshots; one field per snapshot.",
+    ),
+    "miranda": ApplicationSpec(
+        name="miranda",
+        science="Hydrodynamics (large turbulence simulation)",
+        full_dimensions=(256, 384, 384),
+        fields=_MIRANDA_FIELDS,
+        snapshots=96,
+        notes="768 files in the paper's fixed subset (8 fields x 96 snapshots).",
+    ),
+    "nyx": ApplicationSpec(
+        name="nyx",
+        science="Cosmology",
+        full_dimensions=(512, 512, 512),
+        fields=_NYX_FIELDS,
+        snapshots=1,
+        notes="AMReX cosmology code; 3-D uniform grids.",
+    ),
+    "isabel": ApplicationSpec(
+        name="isabel",
+        science="Weather (Hurricane Isabel)",
+        full_dimensions=(100, 500, 500),
+        fields=_ISABEL_FIELDS,
+        snapshots=48,
+        notes="WRF hurricane simulation; 3-D fields per hour.",
+    ),
+    "qmcpack": ApplicationSpec(
+        name="qmcpack",
+        science="Electronic structure",
+        full_dimensions=(288, 69, 69),
+        fields=_QMCPACK_FIELDS,
+        snapshots=115,
+        notes="einspline orbital data; the paper's 33120x69x69 is 115*288 orbitals.",
+    ),
+    "hacc": ApplicationSpec(
+        name="hacc",
+        science="Cosmology (N-body particles)",
+        # One per-rank particle chunk (the full HACC run has ~1e9 particles;
+        # a single file at this size exercises the same 1-D code path).
+        full_dimensions=(8388608,),
+        fields=_HACC_FIELDS,
+        snapshots=1,
+        notes="1-D particle arrays; nearly incompressible velocity components.",
+    ),
+}
+
+
+def application_names() -> List[str]:
+    """Names of all catalogued applications."""
+    return sorted(APPLICATIONS)
+
+
+def get_application_spec(name: str) -> ApplicationSpec:
+    """Look up an application spec by (case-insensitive) name."""
+    try:
+        return APPLICATIONS[name.lower()]
+    except KeyError as exc:
+        valid = ", ".join(application_names())
+        raise DatasetError(f"unknown application {name!r}; available: {valid}") from exc

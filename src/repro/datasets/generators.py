@@ -1,0 +1,156 @@
+"""Synthetic field generators.
+
+Fields are produced by spectral synthesis: white noise shaped by a
+power-law spectrum ``|k|^-beta`` controls smoothness (large ``beta`` ⇒
+smoother, more compressible fields), optionally combined with structured
+components (propagating wavefronts, vortices, log-normal transforms) so
+the applications differ in compressibility the way the real ones do.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..utils.rng import rng_from_seed
+
+__all__ = [
+    "spectral_field",
+    "wave_field",
+    "vortex_field",
+    "lognormal_field",
+    "rescale_to_range",
+]
+
+
+def _wavenumber_grid(shape: Sequence[int]) -> np.ndarray:
+    """Return the |k| magnitude grid for an FFT of the given shape."""
+    axes = [np.fft.fftfreq(n) * n for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    k_sq = np.zeros(tuple(shape), dtype=np.float64)
+    for g in grids:
+        k_sq += g * g
+    return np.sqrt(k_sq)
+
+
+def spectral_field(
+    shape: Sequence[int],
+    beta: float = 3.0,
+    seed: int = 0,
+    noise_level: float = 0.0,
+) -> np.ndarray:
+    """Gaussian random field with power spectrum ``|k|^-beta``.
+
+    ``beta`` around 1 gives rough, hard-to-compress data; ``beta`` of 3-4
+    gives smooth fields similar to climate/hydrodynamics variables.
+    ``noise_level`` adds white noise relative to the field's standard
+    deviation (mimicking sensor/solver noise floors).
+    """
+    dims = tuple(int(s) for s in shape)
+    if any(d <= 0 for d in dims):
+        raise DatasetError(f"all dimensions must be positive, got {dims}")
+    rng = rng_from_seed(seed)
+    white = rng.normal(size=dims)
+    spectrum = np.fft.fftn(white)
+    k = _wavenumber_grid(dims)
+    k[tuple(0 for _ in dims)] = 1.0  # avoid division by zero at DC
+    spectrum *= k ** (-beta / 2.0)
+    field = np.real(np.fft.ifftn(spectrum))
+    std = field.std()
+    if std > 0:
+        field = field / std
+    if noise_level > 0:
+        field = field + rng.normal(scale=noise_level, size=dims)
+    return field.astype(np.float64)
+
+
+def wave_field(
+    shape: Sequence[int],
+    wavelength: float = 12.0,
+    sources: int = 3,
+    seed: int = 0,
+    noise_level: float = 0.01,
+    extent: float = 1.0,
+) -> np.ndarray:
+    """Superposition of radial wavefronts (RTM / seismic style data).
+
+    ``extent`` is the fraction of the domain the wavefronts have reached:
+    early snapshots of an RTM run are mostly quiescent (low entropy, very
+    compressible) and later snapshots fill the volume.
+    """
+    dims = tuple(int(s) for s in shape)
+    rng = rng_from_seed(seed)
+    coords = np.meshgrid(*[np.arange(n, dtype=np.float64) for n in dims], indexing="ij")
+    field = np.zeros(dims, dtype=np.float64)
+    extent = float(min(max(extent, 0.05), 1.0))
+    max_radius = extent * float(np.sqrt(sum((n - 1) ** 2 for n in dims)))
+    first_center = None
+    for _ in range(max(1, sources)):
+        center = [rng.uniform(0.3 * n, 0.7 * n) for n in dims]
+        if first_center is None:
+            first_center = center
+        r_sq = np.zeros(dims, dtype=np.float64)
+        for grid, c in zip(coords, center):
+            r_sq += (grid - c) ** 2
+        r = np.sqrt(r_sq)
+        amplitude = rng.uniform(0.5, 1.5)
+        phase = rng.uniform(0, 2 * np.pi)
+        attenuation = np.exp(-r / (4.0 * max(dims)))
+        field += amplitude * np.sin(2 * np.pi * r / wavelength + phase) * attenuation
+    # Zero the region the wavefront has not reached yet.
+    r_sq = np.zeros(dims, dtype=np.float64)
+    for grid, c in zip(coords, first_center):
+        r_sq += (grid - c) ** 2
+    field = np.where(np.sqrt(r_sq) <= max_radius, field, 0.0)
+    if noise_level > 0:
+        field += rng.normal(scale=noise_level, size=dims) * (np.sqrt(r_sq) <= max_radius)
+    return field
+
+
+def vortex_field(
+    shape: Sequence[int],
+    vortices: int = 4,
+    seed: int = 0,
+    background_beta: float = 3.0,
+) -> np.ndarray:
+    """Rotational structures over a smooth background (hurricane-style data)."""
+    dims = tuple(int(s) for s in shape)
+    rng = rng_from_seed(seed)
+    background = spectral_field(dims, beta=background_beta, seed=seed + 1)
+    coords = np.meshgrid(*[np.linspace(-1, 1, n) for n in dims], indexing="ij")
+    field = background
+    for _ in range(max(1, vortices)):
+        center = [rng.uniform(-0.7, 0.7) for _ in dims]
+        width = rng.uniform(0.08, 0.3)
+        r_sq = np.zeros(dims, dtype=np.float64)
+        for grid, c in zip(coords, center):
+            r_sq += (grid - c) ** 2
+        strength = rng.uniform(1.0, 3.0) * rng.choice([-1.0, 1.0])
+        field = field + strength * np.exp(-r_sq / (2 * width * width))
+    return field
+
+
+def lognormal_field(
+    shape: Sequence[int], beta: float = 2.5, seed: int = 0, sigma: float = 1.5
+) -> np.ndarray:
+    """Positive field with heavy dynamic range (cosmology density style)."""
+    base = spectral_field(shape, beta=beta, seed=seed)
+    return np.exp(sigma * base)
+
+
+def rescale_to_range(data: np.ndarray, minimum: float, maximum: float) -> np.ndarray:
+    """Affinely map ``data`` onto ``[minimum, maximum]``.
+
+    A constant input maps to the midpoint of the target interval.
+    """
+    if maximum < minimum:
+        raise DatasetError(f"invalid target range [{minimum}, {maximum}]")
+    arr = np.asarray(data, dtype=np.float64)
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi == lo:
+        return np.full_like(arr, 0.5 * (minimum + maximum))
+    scaled = (arr - lo) / (hi - lo)
+    return scaled * (maximum - minimum) + minimum

@@ -1,0 +1,88 @@
+"""Dataset persistence: raw binary fields with a JSON manifest.
+
+The paper's datasets are flat binary float32 files (plus HDF5/NetCDF
+containers loaded by the data-loader module); this module reads and
+writes the flat-binary representation with a small JSON sidecar holding
+shape/dtype/field metadata so round trips are lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import Field, ScientificDataset
+
+__all__ = ["save_field", "load_field", "save_dataset", "load_dataset"]
+
+
+def save_field(field: Field, directory: Union[str, Path]) -> Path:
+    """Write a field as ``<filename>`` raw binary plus ``<filename>.json``."""
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    data_path = target_dir / field.filename
+    data_path.write_bytes(np.ascontiguousarray(field.data).tobytes())
+    sidecar = {
+        "name": field.name,
+        "application": field.application,
+        "snapshot": field.snapshot,
+        "shape": list(field.shape),
+        "dtype": str(field.data.dtype),
+        "units": field.units,
+        "metadata": field.metadata,
+    }
+    (target_dir / (field.filename + ".json")).write_text(
+        json.dumps(sidecar, indent=2), encoding="utf-8"
+    )
+    return data_path
+
+
+def load_field(data_path: Union[str, Path]) -> Field:
+    """Load a field previously written by :func:`save_field`."""
+    path = Path(data_path)
+    sidecar_path = Path(str(path) + ".json")
+    if not path.exists():
+        raise DatasetError(f"field file {path} does not exist")
+    if not sidecar_path.exists():
+        raise DatasetError(f"missing sidecar {sidecar_path} for field file {path}")
+    sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+    raw = np.frombuffer(path.read_bytes(), dtype=np.dtype(sidecar["dtype"]))
+    data = raw.reshape(sidecar["shape"]).copy()
+    return Field(
+        name=sidecar["name"],
+        data=data,
+        application=sidecar.get("application", ""),
+        snapshot=int(sidecar.get("snapshot", 0)),
+        units=sidecar.get("units", ""),
+        metadata=sidecar.get("metadata", {}),
+    )
+
+
+def save_dataset(dataset: ScientificDataset, directory: Union[str, Path]) -> Path:
+    """Write every field of a dataset plus a ``manifest.json``."""
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    filenames = []
+    for field in dataset:
+        save_field(field, target_dir)
+        filenames.append(field.filename)
+    manifest = {"name": dataset.name, "files": filenames}
+    (target_dir / "manifest.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return target_dir
+
+
+def load_dataset(directory: Union[str, Path]) -> ScientificDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    target_dir = Path(directory)
+    manifest_path = target_dir / "manifest.json"
+    if not manifest_path.exists():
+        raise DatasetError(f"no manifest.json found in {target_dir}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    dataset = ScientificDataset(name=manifest["name"])
+    for filename in manifest["files"]:
+        dataset.add(load_field(target_dir / filename))
+    return dataset

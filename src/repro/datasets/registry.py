@@ -1,0 +1,134 @@
+"""Dataset generation entry points.
+
+:func:`generate_application` produces a :class:`ScientificDataset` for a
+named application at a chosen scale; :func:`generate_field` produces a
+single field.  Generation is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..utils.rng import derive_seed
+from .applications import FieldSpec, get_application_spec
+from .base import Field, ScientificDataset
+from .generators import (
+    lognormal_field,
+    rescale_to_range,
+    spectral_field,
+    vortex_field,
+    wave_field,
+)
+
+__all__ = ["generate_field", "generate_application"]
+
+#: Default linear scale applied to the paper's full-resolution dimensions so
+#: the whole benchmark suite runs on a laptop.  The scaling is documented in
+#: DESIGN.md / EXPERIMENTS.md.
+DEFAULT_SCALE = 0.08
+
+_STYLES = {"spectral", "wave", "vortex", "lognormal"}
+
+
+def _synthesize(
+    style: str, shape: Sequence[int], spec: FieldSpec, seed: int, snapshot: int = 0
+) -> np.ndarray:
+    if style == "spectral":
+        return spectral_field(shape, beta=spec.beta, seed=seed, noise_level=spec.noise_level)
+    if style == "wave":
+        # Wavefield snapshots grow more complex over simulated time: later
+        # snapshots contain more propagating fronts (higher entropy, slower
+        # to compress), mirroring how RTM wavefields evolve.
+        sources = min(2 + snapshot, 16)
+        extent = min(0.25 + 0.05 * snapshot, 1.0)
+        return wave_field(
+            shape,
+            sources=sources,
+            seed=seed,
+            noise_level=spec.noise_level * (1.0 + 0.1 * min(snapshot, 16)),
+            extent=extent,
+        )
+    if style == "vortex":
+        return vortex_field(shape, seed=seed, background_beta=spec.beta)
+    if style == "lognormal":
+        return lognormal_field(shape, beta=spec.beta, seed=seed)
+    raise DatasetError(f"unknown generator style {style!r}; expected one of {_STYLES}")
+
+
+def generate_field(
+    application: str,
+    field_name: str,
+    snapshot: int = 0,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    shape: Optional[Tuple[int, ...]] = None,
+    dtype: str = "float32",
+) -> Field:
+    """Generate a single synthetic field of an application.
+
+    Args:
+        application: application name (``cesm``, ``rtm``, ...).
+        field_name: one of the application's field names.
+        snapshot: snapshot index; changes the random realisation.
+        scale: linear scaling applied to the full-resolution dimensions.
+        seed: base seed; combined with application/field/snapshot.
+        shape: optional explicit shape overriding the scaled dimensions.
+        dtype: output dtype (the paper's datasets are float32).
+    """
+    spec = get_application_spec(application)
+    matches = [f for f in spec.fields if f.name.lower() == field_name.lower()]
+    if not matches:
+        raise DatasetError(
+            f"application {application!r} has no field {field_name!r}; "
+            f"available: {spec.field_names()}"
+        )
+    field_spec = matches[0]
+    dims = shape if shape is not None else spec.scaled_dimensions(scale)
+    field_seed = derive_seed(seed, application, field_spec.name, snapshot)
+    raw = _synthesize(field_spec.style, dims, field_spec, field_seed, snapshot=snapshot)
+    data = rescale_to_range(raw, field_spec.minimum, field_spec.maximum).astype(dtype)
+    return Field(
+        name=field_spec.name,
+        data=data,
+        application=spec.name,
+        snapshot=snapshot,
+        metadata={"style": field_spec.style, "scale": str(scale)},
+    )
+
+
+def generate_application(
+    application: str,
+    snapshots: Optional[int] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    fields: Optional[Sequence[str]] = None,
+    dtype: str = "float32",
+) -> ScientificDataset:
+    """Generate a multi-file synthetic dataset for an application.
+
+    ``snapshots`` defaults to a small number (2) rather than the paper's
+    full snapshot counts so example scripts stay quick; benchmarks pass
+    explicit values.
+    """
+    spec = get_application_spec(application)
+    n_snapshots = 2 if snapshots is None else int(snapshots)
+    if n_snapshots < 1:
+        raise DatasetError(f"snapshots must be >= 1, got {n_snapshots}")
+    selected = list(fields) if fields else spec.field_names()
+    dataset = ScientificDataset(name=spec.name)
+    for snap in range(n_snapshots):
+        for field_name in selected:
+            dataset.add(
+                generate_field(
+                    application,
+                    field_name,
+                    snapshot=snap,
+                    scale=scale,
+                    seed=seed,
+                    dtype=dtype,
+                )
+            )
+    return dataset

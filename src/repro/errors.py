@@ -1,0 +1,82 @@
+"""Exception hierarchy used across the Ocelot reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration is invalid."""
+
+
+class CompressionError(ReproError):
+    """Raised when compression or decompression fails."""
+
+
+class ErrorBoundViolation(CompressionError):
+    """Raised when reconstructed data violate the requested error bound."""
+
+    def __init__(self, max_error: float, bound: float) -> None:
+        super().__init__(
+            f"maximum absolute error {max_error:.6g} exceeds bound {bound:.6g}"
+        )
+        self.max_error = max_error
+        self.bound = bound
+
+
+class EncodingError(CompressionError):
+    """Raised when an entropy/lossless encoder cannot decode its input."""
+
+
+class UnknownCompressorError(ConfigurationError):
+    """Raised when a compressor name is not present in the registry."""
+
+
+class FeatureExtractionError(ReproError):
+    """Raised when feature extraction receives unusable input."""
+
+
+class ModelNotFittedError(ReproError):
+    """Raised when a prediction is requested from an unfitted model."""
+
+
+class DatasetError(ReproError):
+    """Raised for problems constructing or loading scientific datasets."""
+
+
+class TransferError(ReproError):
+    """Raised when a simulated transfer cannot be carried out."""
+
+
+class EndpointNotFoundError(TransferError):
+    """Raised when a transfer references an unknown endpoint."""
+
+
+class FileNotFoundOnEndpointError(TransferError):
+    """Raised when a source path does not exist on the source endpoint."""
+
+
+class FaaSError(ReproError):
+    """Raised for failures in the simulated federated FaaS substrate."""
+
+
+class FunctionNotRegisteredError(FaaSError):
+    """Raised when invoking a function id that was never registered."""
+
+
+class SchedulingError(FaaSError):
+    """Raised when the simulated batch scheduler cannot satisfy a request."""
+
+
+class GroupingError(ReproError):
+    """Raised when grouped-archive packing or unpacking fails."""
+
+
+class OrchestrationError(ReproError):
+    """Raised when the Ocelot orchestrator encounters an unrecoverable state."""

@@ -1,0 +1,81 @@
+"""Function registration for the simulated FaaS service."""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..errors import FunctionNotRegisteredError
+
+__all__ = ["FunctionSpec", "FunctionRegistry"]
+
+
+@dataclass
+class FunctionSpec:
+    """A registered function and its metadata."""
+
+    function_id: str
+    name: str
+    callable: Callable
+    description: str = ""
+    container: str = "default"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+class FunctionRegistry:
+    """Maps function ids to Python callables (the FuncX registration step)."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionSpec] = {}
+
+    def register(
+        self,
+        func: Callable,
+        name: Optional[str] = None,
+        description: str = "",
+        container: str = "default",
+    ) -> str:
+        """Register a callable and return its function id.
+
+        The id is derived from the function's qualified name and source
+        (when available) so re-registering the same function is idempotent.
+        """
+        func_name = name or getattr(func, "__name__", "anonymous")
+        try:
+            source = inspect.getsource(func)
+        except (OSError, TypeError):
+            source = repr(func)
+        digest = hashlib.sha256(f"{func_name}|{source}".encode("utf-8")).hexdigest()[:16]
+        function_id = f"fn-{digest}"
+        if not description:
+            doc_lines = (func.__doc__ or "").strip().splitlines()
+            description = doc_lines[0] if doc_lines else ""
+        self._functions[function_id] = FunctionSpec(
+            function_id=function_id,
+            name=func_name,
+            callable=func,
+            description=description,
+            container=container,
+        )
+        return function_id
+
+    def get(self, function_id: str) -> FunctionSpec:
+        """Look up a registered function by id."""
+        try:
+            return self._functions[function_id]
+        except KeyError as exc:
+            raise FunctionNotRegisteredError(
+                f"function {function_id!r} has not been registered"
+            ) from exc
+
+    def ids(self) -> Dict[str, str]:
+        """Mapping of function id -> function name for all registrations."""
+        return {fid: spec.name for fid, spec in self._functions.items()}
+
+    def __contains__(self, function_id: str) -> bool:
+        return function_id in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)

@@ -1,0 +1,43 @@
+"""Config-based features: the user-chosen error bound and compressor type."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..compression.registry import compressor_type_id
+from ..errors import FeatureExtractionError
+
+__all__ = ["ConfigFeatures", "extract_config_features"]
+
+
+@dataclass(frozen=True)
+class ConfigFeatures:
+    """Features derived purely from the compression configuration."""
+
+    error_bound_log10: float
+    compressor_type: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the features keyed by canonical feature name."""
+        return {
+            "error_bound_log10": self.error_bound_log10,
+            "compressor_type": float(self.compressor_type),
+        }
+
+
+def extract_config_features(error_bound_abs: float, compressor: str) -> ConfigFeatures:
+    """Build config-based features from an absolute bound and compressor name.
+
+    The error bound spans many orders of magnitude (1e-6 … 1e-1 in the
+    paper's sweeps), so its log10 is used as the model input.
+    """
+    if error_bound_abs <= 0:
+        raise FeatureExtractionError(
+            f"absolute error bound must be positive, got {error_bound_abs}"
+        )
+    return ConfigFeatures(
+        error_bound_log10=math.log10(error_bound_abs),
+        compressor_type=compressor_type_id(compressor),
+    )

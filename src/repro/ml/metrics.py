@@ -1,0 +1,78 @@
+"""Regression metrics used in the paper's evaluation.
+
+Besides the usual RMSE/MAE, :func:`prediction_error_interval` computes
+the central confidence interval of the prediction error distribution —
+the "80 % confidence interval" green boxes of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "prediction_error_interval",
+    "relative_error",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(y_true, dtype=np.float64).ravel()
+    b = np.asarray(y_pred, dtype=np.float64).ravel()
+    if a.size != b.size:
+        raise ValueError(f"y_true has {a.size} values but y_pred has {b.size}")
+    if a.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return a, b
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    a, b = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(a - b)))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    a, b = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination (1 when perfect, can be negative)."""
+    a, b = _validate(y_true, y_pred)
+    ss_res = float(np.sum((a - b) ** 2))
+    ss_tot = float(np.sum((a - a.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def relative_error(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Per-sample relative error ``|pred - true| / max(|true|, eps)``."""
+    a, b = _validate(y_true, y_pred)
+    denom = np.maximum(np.abs(a), 1e-12)
+    return np.abs(b - a) / denom
+
+
+def prediction_error_interval(
+    y_true: np.ndarray, y_pred: np.ndarray, confidence: float = 0.8
+) -> Tuple[float, float]:
+    """Central ``confidence`` interval of the signed prediction error.
+
+    Returns ``(low, high)`` such that ``confidence`` of the errors
+    ``pred - true`` fall inside the interval — the green bounding box of
+    Fig. 12.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    a, b = _validate(y_true, y_pred)
+    errors = b - a
+    tail = (1.0 - confidence) / 2.0
+    low = float(np.quantile(errors, tail))
+    high = float(np.quantile(errors, 1.0 - tail))
+    return low, high

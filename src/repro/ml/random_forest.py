@@ -1,0 +1,101 @@
+"""Bagged ensemble of CART trees (random forest regressor)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, ModelNotFittedError
+from .decision_tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Average of bootstrap-trained decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: float = 0.7,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigurationError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: List[DecisionTreeRegressor] = []
+        self._n_features: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the forest has been fitted."""
+        return bool(self._trees)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit the ensemble with bootstrap resampling."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size:
+            raise ConfigurationError("X must be 2-D with one row per target")
+        self._n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._trees = []
+        n = X.shape[0]
+        for i in range(self.n_estimators):
+            indices = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[indices], y[indices])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets by averaging the per-tree predictions."""
+        if not self.is_fitted:
+            raise ModelNotFittedError("random forest has not been fitted")
+        preds = np.vstack([tree.predict(X) for tree in self._trees])
+        return preds.mean(axis=0)
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean of per-tree split-count importances."""
+        if not self.is_fitted:
+            raise ModelNotFittedError("random forest has not been fitted")
+        return np.mean([tree.feature_importances() for tree in self._trees], axis=0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the fitted forest to a JSON-friendly dictionary."""
+        return {
+            "kind": "random_forest",
+            "params": {
+                "n_estimators": self.n_estimators,
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+                "random_state": self.random_state,
+            },
+            "n_features": self._n_features,
+            "trees": [tree.to_dict() for tree in self._trees],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RandomForestRegressor":
+        """Rebuild a forest serialised with :meth:`to_dict`."""
+        forest = cls(**payload["params"])
+        forest._n_features = payload["n_features"]
+        forest._trees = [DecisionTreeRegressor.from_dict(t) for t in payload["trees"]]
+        return forest

@@ -1,0 +1,80 @@
+"""The prior-work ratio estimator used as the paper's comparison baseline.
+
+Jin et al. estimate the compression ratio with the closed form
+``CR_hat = 1 / (C1 * (1 - p0) * P0 + (1 - P0))`` where ``C1`` is an
+application-specific tuning constant.  The paper shows (Fig. 5 vs Fig. 6)
+that this works well for Nyx but fails for Miranda, motivating feeding
+p0/P0/Rrle into a learned model instead.  This module implements the
+baseline, including a least-squares fit of ``C1``, so the comparison can
+be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ModelNotFittedError
+from .records import QualityRecord
+
+__all__ = ["ratio_quality_estimate", "C1BaselineEstimator"]
+
+
+def ratio_quality_estimate(p0: float, P0: float, c1: float = 1.0) -> float:
+    """The closed-form ratio estimate ``1 / (C1 (1-p0) P0 + (1-P0))``."""
+    denominator = c1 * (1.0 - p0) * P0 + (1.0 - P0)
+    if denominator <= 0:
+        return float(1e6)
+    return float(1.0 / denominator)
+
+
+@dataclass
+class C1BaselineEstimator:
+    """Ratio-only estimator with a tunable per-application constant C1."""
+
+    c1: Optional[float] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether C1 has been set or fitted."""
+        return self.c1 is not None
+
+    def fit(self, records: List[QualityRecord]) -> "C1BaselineEstimator":
+        """Least-squares fit of C1 on measured records.
+
+        Solves ``1/CR = C1 * (1-p0) * P0 + (1-P0)`` for C1 in the
+        least-squares sense over all records.
+        """
+        if not records:
+            raise ModelNotFittedError("cannot fit the C1 baseline on zero records")
+        a = []  # (1-p0) * P0 terms
+        b = []  # 1/CR - (1-P0) targets
+        for record in records:
+            p0 = record.features["p0"]
+            P0 = record.features["P0"]
+            if record.compression_ratio <= 0:
+                continue
+            a.append((1.0 - p0) * P0)
+            b.append(1.0 / record.compression_ratio - (1.0 - P0))
+        a_arr = np.asarray(a, dtype=np.float64)
+        b_arr = np.asarray(b, dtype=np.float64)
+        denom = float(np.dot(a_arr, a_arr))
+        if denom == 0.0:
+            self.c1 = 1.0
+        else:
+            self.c1 = float(np.dot(a_arr, b_arr) / denom)
+        return self
+
+    def predict_record(self, record: QualityRecord) -> float:
+        """Predict the compression ratio for one record's features."""
+        if not self.is_fitted:
+            raise ModelNotFittedError("C1 baseline has not been fitted")
+        return ratio_quality_estimate(
+            record.features["p0"], record.features["P0"], c1=float(self.c1)
+        )
+
+    def predict(self, records: List[QualityRecord]) -> np.ndarray:
+        """Predict the compression ratio for a list of records."""
+        return np.asarray([self.predict_record(r) for r in records], dtype=np.float64)

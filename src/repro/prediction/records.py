@@ -1,0 +1,73 @@
+"""Quality records: one measured (features, outcomes) sample per compression run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..features.vector import FeatureVector
+
+__all__ = ["QualityRecord", "records_to_matrix"]
+
+
+@dataclass
+class QualityRecord:
+    """One training/testing sample for the quality predictor.
+
+    Holds the extracted feature vector plus the measured ground truth for
+    the three predicted quantities (compression ratio, compression time,
+    PSNR) and identifying metadata.
+    """
+
+    features: FeatureVector
+    compression_ratio: float
+    compression_time_s: float
+    psnr_db: Optional[float]
+    application: str = ""
+    field_name: str = ""
+    snapshot: int = 0
+    error_bound_abs: float = 0.0
+    error_bound_label: str = ""
+    compressor: str = ""
+    num_elements: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def key(self) -> Tuple[str, str, int, str, str]:
+        """A stable identity for grouping / splitting."""
+        return (
+            self.application,
+            self.field_name,
+            self.snapshot,
+            self.error_bound_label,
+            self.compressor,
+        )
+
+
+def records_to_matrix(
+    records: List[QualityRecord], target: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (X, y) for one of the targets: ``ratio``, ``time`` or ``psnr``.
+
+    Records whose target is missing/non-finite are dropped (e.g. infinite
+    PSNR for exactly reconstructed constant fields).
+    """
+    if target not in ("ratio", "time", "psnr"):
+        raise ValueError(f"unknown target {target!r}; expected ratio, time or psnr")
+    feats: List[FeatureVector] = []
+    targets: List[float] = []
+    for record in records:
+        if target == "ratio":
+            value = record.compression_ratio
+        elif target == "time":
+            value = record.compression_time_s
+        else:
+            value = record.psnr_db if record.psnr_db is not None else float("nan")
+        if value is None or not np.isfinite(value):
+            continue
+        feats.append(record.features)
+        targets.append(float(value))
+    X = FeatureVector.matrix(feats)
+    y = np.asarray(targets, dtype=np.float64)
+    return X, y

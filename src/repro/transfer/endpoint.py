@@ -1,0 +1,87 @@
+"""Globus-style endpoints: storage plus data-transfer nodes.
+
+An endpoint bundles a simulated filesystem with the characteristics that
+matter for transfer performance: the number of data-transfer nodes
+(DTNs), the per-DTN storage I/O bandwidth (which caps effective transfer
+speed and models the I/O contention seen during parallel decompression),
+and the compute partition used for compression jobs (attached later by
+the FaaS substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from .filesystem import SimulatedFileSystem
+
+__all__ = ["GlobusEndpoint"]
+
+
+@dataclass
+class GlobusEndpoint:
+    """One Globus collection / endpoint in the simulated testbed."""
+
+    name: str
+    display_name: str = ""
+    region: str = ""
+    dtn_count: int = 4
+    storage_read_bps: float = 12e9
+    storage_write_bps: float = 10e9
+    filesystem: SimulatedFileSystem = field(default_factory=SimulatedFileSystem)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("endpoint name must be non-empty")
+        if self.dtn_count < 1:
+            raise ConfigurationError(f"endpoint {self.name!r} needs at least one DTN")
+        if self.storage_read_bps <= 0 or self.storage_write_bps <= 0:
+            raise ConfigurationError(
+                f"endpoint {self.name!r} storage bandwidth must be positive"
+            )
+        if not self.display_name:
+            self.display_name = self.name
+
+    # ------------------------------------------------------------------ #
+    def stage_dataset(self, dataset, prefix: Optional[str] = None, materialize: bool = True) -> int:
+        """Write a :class:`~repro.datasets.base.ScientificDataset` onto the endpoint.
+
+        When ``materialize`` is False only the file sizes are recorded
+        (used by large-scale throughput benchmarks).  Returns the number
+        of files staged.
+        """
+        base = prefix if prefix is not None else f"/data/{dataset.name}"
+        count = 0
+        for data_field in dataset:
+            path = f"{base}/{data_field.filename}"
+            if materialize:
+                self.filesystem.write(path, data=data_field.data.tobytes(),
+                                      metadata={"field": data_field.name,
+                                                "shape": "x".join(map(str, data_field.shape)),
+                                                "dtype": str(data_field.data.dtype)})
+            else:
+                self.filesystem.write(path, size_bytes=data_field.nbytes,
+                                      metadata={"field": data_field.name})
+            count += 1
+        return count
+
+    def storage_read_time(self, nbytes: int) -> float:
+        """Seconds to read ``nbytes`` from the endpoint's storage."""
+        return nbytes / self.storage_read_bps
+
+    def storage_write_time(self, nbytes: int) -> float:
+        """Seconds to write ``nbytes`` to the endpoint's storage."""
+        return nbytes / self.storage_write_bps
+
+    def describe(self) -> Dict[str, object]:
+        """Summary of the endpoint configuration and stored data."""
+        return {
+            "name": self.name,
+            "display_name": self.display_name,
+            "region": self.region,
+            "dtn_count": self.dtn_count,
+            "files": self.filesystem.file_count(),
+            "total_bytes": self.filesystem.total_bytes(),
+        }

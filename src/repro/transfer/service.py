@@ -1,0 +1,200 @@
+"""Globus-style transfer service: submit, track and complete transfer tasks.
+
+The service owns the endpoints, the network topology and a simulation
+clock.  Submitting a request computes the transfer duration with the
+GridFTP engine, advances the clock, moves the file entries between the
+endpoint filesystems, and returns a completed :class:`TransferTask` with
+per-task statistics (the analogue of the Globus task pane the paper's
+measurements come from).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import EndpointNotFoundError, TransferError
+from ..utils.clock import SimulationClock
+from .endpoint import GlobusEndpoint
+from .gridftp import GridFTPEngine, GridFTPSettings, TransferEstimate
+from .network import NetworkTopology
+
+__all__ = ["TransferStatus", "TransferRequest", "TransferTask", "TransferService"]
+
+
+class TransferStatus(str, enum.Enum):
+    """Lifecycle states of a transfer task."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class TransferRequest:
+    """A request to move files between two endpoints."""
+
+    source_endpoint: str
+    destination_endpoint: str
+    paths: Sequence[str]
+    destination_prefix: str = ""
+    label: str = ""
+    settings: Optional[GridFTPSettings] = None
+    delete_source: bool = False
+
+
+@dataclass
+class TransferTask:
+    """One submitted transfer and its outcome."""
+
+    task_id: str
+    request: TransferRequest
+    status: TransferStatus = TransferStatus.PENDING
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    completed_at: float = 0.0
+    estimate: Optional[TransferEstimate] = None
+    error: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        """Wall (simulated) duration of the transfer itself."""
+        return max(0.0, self.completed_at - self.started_at)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved by the task."""
+        return self.estimate.total_bytes if self.estimate else 0
+
+    @property
+    def effective_speed_mbps(self) -> float:
+        """Effective speed in MB/s."""
+        if self.estimate is None or self.duration_s <= 0:
+            return 0.0
+        return self.bytes_transferred / 1e6 / self.duration_s
+
+
+class TransferService:
+    """The simulated Globus transfer service."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        clock: Optional[SimulationClock] = None,
+        default_settings: Optional[GridFTPSettings] = None,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.clock = clock or SimulationClock()
+        self.default_settings = default_settings or GridFTPSettings()
+        self._endpoints: Dict[str, GlobusEndpoint] = {}
+        self._tasks: Dict[str, TransferTask] = {}
+        self._task_counter = itertools.count(1)
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Endpoint management
+    # ------------------------------------------------------------------ #
+    def register_endpoint(self, endpoint: GlobusEndpoint) -> None:
+        """Add an endpoint to the service."""
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> GlobusEndpoint:
+        """Look up an endpoint by name."""
+        try:
+            return self._endpoints[name]
+        except KeyError as exc:
+            raise EndpointNotFoundError(
+                f"unknown endpoint {name!r}; registered: {sorted(self._endpoints)}"
+            ) from exc
+
+    def endpoints(self) -> List[str]:
+        """Names of all registered endpoints."""
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+    def submit(self, request: TransferRequest) -> TransferTask:
+        """Execute a transfer request, advancing the simulation clock."""
+        source = self.endpoint(request.source_endpoint)
+        destination = self.endpoint(request.destination_endpoint)
+        if not request.paths:
+            raise TransferError("transfer request contains no paths")
+        task = TransferTask(
+            task_id=f"task-{next(self._task_counter):06d}",
+            request=request,
+            submitted_at=self.clock.now,
+        )
+        self._tasks[task.task_id] = task
+        try:
+            entries = [source.filesystem.stat(path) for path in request.paths]
+            link = self.topology.link(source.name, destination.name)
+            settings = request.settings or self.default_settings
+            engine = GridFTPEngine(settings=settings, seed=self._seed)
+            estimate = engine.estimate(
+                [entry.size_bytes for entry in entries],
+                link,
+                storage_read_bps=source.storage_read_bps * source.dtn_count,
+                storage_write_bps=destination.storage_write_bps * destination.dtn_count,
+            )
+            task.status = TransferStatus.ACTIVE
+            task.started_at = self.clock.now
+            self.clock.record(f"transfer:start:{task.task_id}")
+            self.clock.advance(estimate.duration_s)
+            destination.filesystem.copy_from(
+                source.filesystem, request.paths, dest_prefix=request.destination_prefix
+            )
+            if request.delete_source:
+                for path in request.paths:
+                    source.filesystem.delete(path)
+            task.estimate = estimate
+            task.completed_at = self.clock.now
+            task.status = TransferStatus.SUCCEEDED
+            self.clock.record(f"transfer:done:{task.task_id}")
+        except TransferError as exc:
+            task.status = TransferStatus.FAILED
+            task.error = str(exc)
+            task.completed_at = self.clock.now
+            raise
+        return task
+
+    def transfer_directory(
+        self,
+        source_endpoint: str,
+        destination_endpoint: str,
+        prefix: str,
+        label: str = "",
+        settings: Optional[GridFTPSettings] = None,
+        delete_source: bool = False,
+    ) -> TransferTask:
+        """Transfer every file under ``prefix`` on the source endpoint."""
+        source = self.endpoint(source_endpoint)
+        paths = source.filesystem.paths(prefix)
+        if not paths:
+            raise TransferError(
+                f"no files under {prefix!r} on endpoint {source_endpoint!r}"
+            )
+        request = TransferRequest(
+            source_endpoint=source_endpoint,
+            destination_endpoint=destination_endpoint,
+            paths=paths,
+            label=label or f"dir:{prefix}",
+            settings=settings,
+            delete_source=delete_source,
+        )
+        return self.submit(request)
+
+    def task(self, task_id: str) -> TransferTask:
+        """Look up a task by id."""
+        try:
+            return self._tasks[task_id]
+        except KeyError as exc:
+            raise TransferError(f"unknown transfer task {task_id!r}") from exc
+
+    def tasks(self) -> List[TransferTask]:
+        """All tasks submitted so far, in submission order."""
+        return [self._tasks[k] for k in sorted(self._tasks)]

@@ -1,0 +1,113 @@
+"""Bit-level reader/writer used by the Huffman and embedded encoders.
+
+The writer accumulates bits most-significant-bit first into a
+``bytearray``; the reader mirrors that layout.  Both are deliberately
+simple (no buffering tricks) — compressors keep hot loops in NumPy and
+only use these classes for header/auxiliary streams and for the canonical
+Huffman coder on moderate symbol counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import EncodingError
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulate bits MSB-first and emit them as ``bytes``."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._nbits = 0
+        self._total_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._current = (self._current << 1) | (bit & 1)
+        self._nbits += 1
+        self._total_bits += 1
+        if self._nbits == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the ``nbits`` least-significant bits of ``value``, MSB first."""
+        if nbits < 0:
+            raise EncodingError("cannot write a negative number of bits")
+        for shift in range(nbits - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero."""
+        if value < 0:
+            raise EncodingError("unary coding requires a non-negative value")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return self._total_bits
+
+    def getvalue(self) -> bytes:
+        """Return the written bits padded with zero bits to a whole byte."""
+        out = bytearray(self._buffer)
+        if self._nbits:
+            out.append((self._current << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Read bits MSB-first from a ``bytes`` object."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def remaining_bits(self) -> int:
+        """Number of unread bits left in the stream."""
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        """Read and return the next bit."""
+        if self._pos >= len(self._data) * 8:
+            raise EncodingError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, nbits: int) -> int:
+        """Read ``nbits`` bits and return them as an unsigned integer."""
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded non-negative integer."""
+        count = 0
+        while self.read_bit() == 1:
+            count += 1
+        return count
+
+
+def pack_bits(bits: Iterable[int]) -> bytes:
+    """Pack an iterable of 0/1 values into bytes (helper for tests)."""
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    return writer.getvalue()
+
+
+def unpack_bits(data: bytes, count: int) -> List[int]:
+    """Unpack ``count`` bits from ``data`` (helper for tests)."""
+    reader = BitReader(data)
+    return [reader.read_bit() for _ in range(count)]

@@ -1,0 +1,36 @@
+"""Logging helpers.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger; applications opt in with :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_LIBRARY_LOGGER = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the library namespace."""
+    if not name:
+        return logging.getLogger(_LIBRARY_LOGGER)
+    if name.startswith(_LIBRARY_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple stream handler to the library logger (idempotent)."""
+    logger = logging.getLogger(_LIBRARY_LOGGER)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

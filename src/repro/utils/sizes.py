@@ -1,0 +1,38 @@
+"""Human-readable formatting of byte counts, durations and rates."""
+
+from __future__ import annotations
+
+__all__ = ["format_bytes", "format_duration", "format_rate", "MB", "GB", "TB"]
+
+KB = 1024.0
+MB = KB * 1024.0
+GB = MB * 1024.0
+TB = GB * 1024.0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count using binary units (e.g. ``1.5 GiB``)."""
+    value = float(num_bytes)
+    for unit, threshold in (("TiB", TB), ("GiB", GB), ("MiB", MB), ("KiB", KB)):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f} {unit}"
+    return f"{value:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration, switching to minutes/hours for long intervals."""
+    value = float(seconds)
+    if value < 1e-3:
+        return f"{value * 1e6:.1f} us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f} ms"
+    if value < 120.0:
+        return f"{value:.2f} s"
+    if value < 7200.0:
+        return f"{value / 60.0:.1f} min"
+    return f"{value / 3600.0:.2f} h"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a throughput value such as ``1.02 GiB/s``."""
+    return f"{format_bytes(bytes_per_second)}/s"

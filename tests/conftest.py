@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep arrays small so the whole suite runs in well under a
+minute; session-scoped fixtures cache the expensive artefacts (training
+records, a fitted quality predictor, a populated testbed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import ErrorBound, create_compressor
+from repro.datasets import generate_application, generate_field
+from repro.prediction import build_training_records, train_test_split_records, QualityPredictor
+from repro.transfer import build_testbed
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def smooth_2d():
+    """A smooth, highly compressible 2-D field."""
+    x = np.linspace(0, 4 * np.pi, 96)
+    y = np.linspace(0, 3 * np.pi, 80)
+    return (np.sin(x)[:, None] * np.cos(y)[None, :]).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def smooth_3d():
+    """A smooth 3-D field with a little noise."""
+    x = np.linspace(0, 2 * np.pi, 32)
+    field = (
+        np.sin(x)[:, None, None]
+        * np.cos(1.5 * x)[None, :, None]
+        * np.sin(0.5 * x)[None, None, :]
+    )
+    noise = np.random.default_rng(7).normal(0, 0.01, field.shape)
+    return (field + noise).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def rough_1d():
+    """A rough (hard to compress) 1-D signal."""
+    return np.random.default_rng(3).normal(0, 100.0, 5000).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def cesm_field():
+    """One synthetic CESM field at a small scale."""
+    return generate_field("cesm", "CLDHGH", scale=0.05, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small multi-field dataset (CESM, one snapshot)."""
+    return generate_application("cesm", snapshots=1, scale=0.04, seed=2)
+
+
+@pytest.fixture(scope="session")
+def sz3_fast():
+    return create_compressor("sz3-fast")
+
+
+@pytest.fixture(scope="session")
+def rel_bound():
+    return ErrorBound.relative(1e-3)
+
+
+@pytest.fixture(scope="session")
+def training_records(small_dataset):
+    """Measured quality records over a small sweep (session cached)."""
+    fields = small_dataset.fields[:6]
+    return build_training_records(
+        fields,
+        error_bounds=(1e-4, 1e-3, 1e-2),
+        compressors=("sz3-fast",),
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_predictor(training_records):
+    """A quality predictor fitted on the session training records."""
+    train, _ = train_test_split_records(training_records, train_fraction=0.7, seed=0)
+    return QualityPredictor().fit(train)
+
+
+@pytest.fixture()
+def testbed():
+    """A fresh simulated testbed per test."""
+    return build_testbed()

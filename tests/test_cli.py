@@ -1,0 +1,82 @@
+"""Tests for the ocelot command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("info", "predict", "compress", "transfer"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_compress_arguments(self):
+        args = build_parser().parse_args(
+            ["compress", "--application", "nyx", "--compressor", "sz2", "--error-bound", "1e-4"]
+        )
+        assert args.application == "nyx"
+        assert args.compressor == "sz2"
+        assert args.error_bound == 1e-4
+
+    def test_invalid_application_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "--application", "doom"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "sz3" in out
+        assert "cesm" in out
+        assert "anvil" in out
+
+    def test_compress_json_output(self, capsys):
+        code = main([
+            "compress", "--application", "cesm", "--scale", "0.03",
+            "--compressor", "sz3-fast", "--error-bound", "1e-3", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compression_ratio"] > 1.0
+        assert payload["psnr_db"] > 40.0
+
+    def test_compress_npy_input(self, tmp_path, capsys):
+        data = np.add.outer(np.sin(np.linspace(0, 3, 40)), np.cos(np.linspace(0, 2, 30)))
+        path = tmp_path / "field.npy"
+        np.save(path, data.astype(np.float32))
+        code = main(["compress", "--input", str(path), "--compressor", "sz3-fast", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shape"] == [40, 30]
+
+    def test_predict_text_output(self, capsys):
+        code = main([
+            "predict", "--application", "miranda", "--scale", "0.03",
+            "--compressor", "sz3-fast", "--train-fraction", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P-CR" in out
+
+    def test_transfer_json_output(self, capsys):
+        code = main([
+            "transfer", "--application", "miranda", "--snapshots", "1", "--scale", "0.03",
+            "--source", "anvil", "--destination", "cori",
+            "--modes", "direct", "grouped", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"direct", "grouped"}
+        assert payload["grouped"]["compression_ratio"] > 1.0

@@ -1,0 +1,297 @@
+"""Tests for the Ocelot core components: config, parallel model, grouping,
+sentinel, planner and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import ErrorBound
+from repro.core import (
+    CompressionPlanner,
+    FileGrouper,
+    OcelotConfig,
+    ParallelCostModel,
+    ParallelExecutor,
+    PhaseTimings,
+    Sentinel,
+    TransferReport,
+)
+from repro.errors import ConfigurationError, GroupingError, OrchestrationError
+from repro.transfer import GridFTPSettings, WANLink
+
+
+class TestOcelotConfig:
+    def test_defaults_are_valid(self):
+        config = OcelotConfig()
+        assert config.mode == "grouped"
+        assert config.resolved_error_bound().value == config.error_bound
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(mode="turbo")
+
+    def test_invalid_error_bound_raises(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(error_bound=-1.0)
+
+    def test_invalid_nodes_raise(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(compression_nodes=0)
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(cores_per_node=0)
+
+    def test_invalid_scales_raise(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(size_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(work_time_scale=-2.0)
+
+    def test_total_cores(self):
+        config = OcelotConfig(compression_nodes=4, cores_per_node=16)
+        assert config.total_compression_cores() == 64
+
+    def test_work_time_scale_defaults_to_size_scale(self):
+        assert OcelotConfig(size_scale=100.0).resolved_work_time_scale() == 100.0
+        assert OcelotConfig(size_scale=100.0, work_time_scale=5.0).resolved_work_time_scale() == 5.0
+
+    def test_error_bound_modes(self):
+        assert OcelotConfig(error_bound=0.5, error_bound_mode="abs").resolved_error_bound().mode.value == "abs"
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(error_bound_mode="weird")
+
+
+class TestParallelExecutor:
+    def _times(self, n=512, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0.8, 1.2, n).tolist()
+
+    def test_compression_scales_with_nodes_until_saturation(self):
+        """Fig. 9 (left): more nodes reduce compression time, then flatten."""
+        executor = ParallelExecutor()
+        times = self._times(512)
+        sizes = [10**6] * 512
+        makespans = [
+            executor.compression_makespan(times, sizes, nodes=n, cores_per_node=128).makespan_s
+            for n in (1, 2, 4, 8)
+        ]
+        assert makespans[0] > makespans[1] > makespans[2]
+        # Beyond saturation (cores >= files), improvement stops.
+        saturated = executor.compression_makespan(times, sizes, nodes=16, cores_per_node=128)
+        nearly_saturated = executor.compression_makespan(times, sizes, nodes=8, cores_per_node=128)
+        assert saturated.makespan_s >= nearly_saturated.makespan_s * 0.5
+
+    def test_decompression_degrades_with_many_nodes(self):
+        """Fig. 9 (right): I/O contention makes decompression slower at scale."""
+        executor = ParallelExecutor()
+        times = self._times(512, seed=1)
+        output_sizes = [200 * 10**6] * 512  # full-size reconstructed files
+        few = executor.decompression_makespan(times, output_sizes, nodes=1, cores_per_node=128)
+        many = executor.decompression_makespan(times, output_sizes, nodes=16, cores_per_node=128)
+        assert many.io_s > few.io_s
+        assert many.makespan_s > few.makespan_s
+
+    def test_speedup_vs_serial(self):
+        executor = ParallelExecutor()
+        estimate = executor.compression_makespan([1.0] * 64, [10**6] * 64, nodes=1, cores_per_node=64)
+        assert estimate.speedup_vs_serial > 10
+
+    def test_time_scale_applies(self):
+        executor = ParallelExecutor()
+        base = executor.compression_makespan([1.0] * 8, [1] * 8, nodes=1, cores_per_node=1)
+        scaled = executor.compression_makespan([1.0] * 8, [1] * 8, nodes=1, cores_per_node=1, time_scale=10.0)
+        assert scaled.makespan_s > base.makespan_s * 5
+
+    def test_empty_batch(self):
+        executor = ParallelExecutor()
+        estimate = executor.compression_makespan([], [], nodes=2, cores_per_node=8)
+        assert estimate.makespan_s >= 0.0
+        assert estimate.files == 0
+
+    def test_invalid_nodes_raise(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor().compression_makespan([1.0], [1], nodes=0, cores_per_node=1)
+
+    def test_map_runs_function(self):
+        executor = ParallelExecutor(local_workers=2)
+        assert executor.map(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelCostModel(parallel_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            ParallelCostModel(pfs_write_bps=-1)
+
+    def test_write_bandwidth_decreases_with_writers(self):
+        model = ParallelCostModel()
+        assert model.write_bandwidth(2048) < model.write_bandwidth(64)
+
+
+class TestFileGrouper:
+    def _files(self, count=10, size=100):
+        rng = np.random.default_rng(0)
+        return [(f"file_{i:03d}.sz", rng.bytes(size)) for i in range(count)]
+
+    def test_pack_unpack_round_trip(self):
+        grouper = FileGrouper()
+        files = self._files(7)
+        group = grouper.pack(files, "g0")
+        assert grouper.unpack(group.payload) == files
+        assert group.member_count == 7
+
+    def test_empty_group_raises(self):
+        with pytest.raises(GroupingError):
+            FileGrouper().pack([], "empty")
+
+    def test_unpack_bad_magic_raises(self):
+        with pytest.raises(GroupingError):
+            FileGrouper().unpack(b"JUNKJUNKJUNK")
+
+    def test_unpack_truncated_raises(self):
+        grouper = FileGrouper()
+        group = grouper.pack(self._files(3), "g")
+        with pytest.raises(GroupingError):
+            grouper.unpack(group.payload[: len(group.payload) - 30])
+
+    def test_group_by_world_size(self):
+        grouper = FileGrouper()
+        sizes = [(f"f{i}", 10) for i in range(10)]
+        groups = grouper.assign_by_world_size(sizes, world_size=4)
+        assert [len(g) for g in groups] == [4, 4, 2]
+
+    def test_group_by_target_bytes(self):
+        grouper = FileGrouper()
+        sizes = [(f"f{i}", 30) for i in range(10)]
+        groups = grouper.assign_by_target_bytes(sizes, target_bytes=100)
+        assert all(sum(30 for _ in g) <= 120 for g in groups)
+        assert sum(len(g) for g in groups) == 10
+
+    def test_invalid_strategy_parameters(self):
+        grouper = FileGrouper()
+        with pytest.raises(GroupingError):
+            grouper.assign_by_world_size([("a", 1)], world_size=0)
+        with pytest.raises(GroupingError):
+            grouper.assign_by_target_bytes([("a", 1)], target_bytes=0)
+
+    def test_build_groups_world_size(self):
+        grouper = FileGrouper()
+        files = self._files(9)
+        groups, plan = grouper.build_groups(files, world_size=4, prefix="cesm")
+        assert len(groups) == 3
+        assert plan.strategy == "world_size=4"
+        restored = [m for g in groups for m in grouper.unpack(g.payload)]
+        assert restored == files
+
+    def test_build_groups_reduces_file_count(self):
+        grouper = FileGrouper()
+        files = self._files(100, size=50)
+        groups, _ = grouper.build_groups(files, world_size=25)
+        assert len(groups) == 4
+        assert sum(g.size_bytes for g in groups) >= sum(len(p) for _, p in files)
+
+    def test_metadata_text_lists_members(self):
+        grouper = FileGrouper()
+        _, plan = grouper.build_groups(self._files(5), world_size=2, prefix="rtm")
+        text = plan.metadata_text()
+        assert "strategy" in text
+        assert "file_000.sz" in text
+
+    def test_single_group_fallback(self):
+        grouper = FileGrouper()
+        groups, plan = grouper.build_groups(self._files(3))
+        assert len(groups) == 1
+        assert plan.strategy == "single_group"
+
+
+class TestSentinel:
+    def _link(self):
+        return WANLink(source="a", destination="b", bandwidth_bps=1e9,
+                       per_file_overhead_s=0.2, per_stream_bandwidth_bps=0.3e9)
+
+    def test_no_wait_means_no_raw_transfer(self):
+        sentinel = Sentinel(GridFTPSettings())
+        decision = sentinel.plan([("f1", 10**9)], wait_s=0.0, link=self._link())
+        assert decision.raw_paths == []
+        assert decision.compress_paths == ["f1"]
+
+    def test_long_wait_transfers_some_files_raw(self):
+        sentinel = Sentinel(GridFTPSettings())
+        files = [(f"f{i}", 10**9) for i in range(100)]
+        decision = sentinel.plan(files, wait_s=60.0, link=self._link())
+        assert decision.raw_count > 0
+        assert decision.raw_count < 100
+        assert decision.raw_transfer_s <= 60.0
+        assert len(decision.raw_paths) + len(decision.compress_paths) == 100
+
+    def test_infinite_wait_transfers_everything_raw(self):
+        """Worst case: nodes never arrive, all data goes uncompressed."""
+        sentinel = Sentinel(GridFTPSettings())
+        files = [(f"f{i}", 10**8) for i in range(20)]
+        decision = sentinel.plan(files, wait_s=1e9, link=self._link())
+        assert decision.raw_count == 20
+        assert decision.compress_paths == []
+
+    def test_longer_wait_sends_more_raw(self):
+        sentinel = Sentinel(GridFTPSettings())
+        files = [(f"f{i}", 10**9) for i in range(200)]
+        short = sentinel.plan(files, wait_s=30.0, link=self._link())
+        long = sentinel.plan(files, wait_s=300.0, link=self._link())
+        assert long.raw_count > short.raw_count
+
+    def test_threshold_suppresses_short_waits(self):
+        sentinel = Sentinel(GridFTPSettings())
+        decision = sentinel.plan([("f", 10**6)], wait_s=3.0, link=self._link(), threshold_s=5.0)
+        assert decision.raw_count == 0
+
+
+class TestPlannerAndReporting:
+    def test_fixed_plan_without_predictor(self):
+        planner = CompressionPlanner(OcelotConfig(compressor="sz2", error_bound=1e-4))
+        plan = planner.plan()
+        assert plan.compressor == "sz2"
+        assert plan.used_predictor is False
+        assert "sz2" in plan.describe()
+
+    def test_prediction_requested_without_predictor_raises(self):
+        planner = CompressionPlanner(OcelotConfig(use_prediction=True))
+        with pytest.raises(OrchestrationError):
+            planner.plan()
+
+    def test_predictive_plan_selects_candidate(self, fitted_predictor, cesm_field):
+        config = OcelotConfig(use_prediction=True, compressor="sz3-fast",
+                              candidate_error_bounds=(1e-4, 1e-3, 1e-2), min_psnr_db=0.0)
+        planner = CompressionPlanner(config, predictor=fitted_predictor)
+        plan = planner.plan(representative=cesm_field)
+        assert plan.used_predictor is True
+        assert plan.predicted is not None
+        assert plan.error_bound.mode.value == "rel"
+        assert 0 < plan.error_bound.value <= 1.0
+
+    def test_phase_timings_total(self):
+        timings = PhaseTimings(node_wait_s=10.0, raw_transfer_s=8.0, compression_s=5.0,
+                               transfer_s=20.0, decompression_s=2.0)
+        # Waiting overlaps raw transfer; the rest is sequential.
+        assert timings.total_s == pytest.approx(10.0 + 5.0 + 20.0 + 2.0)
+        assert timings.as_dict()["total_s"] == timings.total_s
+
+    def test_transfer_report_gain(self):
+        report = TransferReport(
+            dataset="cesm", mode="grouped", source="anvil", destination="cori",
+            file_count=10, total_bytes=1000, transferred_files=2, transferred_bytes=250,
+            compression_ratio=4.0, timings=PhaseTimings(transfer_s=10.0, compression_s=5.0),
+            direct_transfer_s=60.0,
+        )
+        assert report.total_s == pytest.approx(15.0)
+        assert report.gain_vs_direct == pytest.approx(0.75)
+        assert report.speedup_vs_direct == pytest.approx(4.0)
+        assert "cesm" in report.summary()
+        assert report.as_dict()["gain_vs_direct"] == pytest.approx(0.75)
+
+    def test_transfer_report_without_baseline(self):
+        report = TransferReport(
+            dataset="x", mode="direct", source="a", destination="b",
+            file_count=1, total_bytes=10, transferred_files=1, transferred_bytes=10,
+            compression_ratio=1.0, timings=PhaseTimings(transfer_s=1.0),
+        )
+        assert report.gain_vs_direct is None
+        assert report.speedup_vs_direct is None

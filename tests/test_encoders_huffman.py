@@ -1,0 +1,127 @@
+"""Tests for the canonical Huffman codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.encoders.huffman import (
+    HuffmanCodebook,
+    HuffmanCodec,
+    huffman_code_lengths,
+)
+from repro.errors import EncodingError
+
+
+class TestCodeLengths:
+    def test_empty_frequencies(self):
+        assert huffman_code_lengths({}) == {}
+
+    def test_single_symbol_gets_one_bit(self):
+        assert huffman_code_lengths({7: 100}) == {7: 1}
+
+    def test_more_frequent_symbols_get_shorter_codes(self):
+        lengths = huffman_code_lengths({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert lengths[0] <= lengths[1]
+        assert lengths[1] <= lengths[3]
+
+    def test_kraft_inequality_holds(self):
+        freqs = {i: (i + 1) ** 2 for i in range(20)}
+        lengths = huffman_code_lengths(freqs)
+        kraft = sum(2.0 ** -l for l in lengths.values())
+        assert kraft <= 1.0 + 1e-9
+
+    def test_uniform_frequencies_give_balanced_code(self):
+        freqs = {i: 5 for i in range(8)}
+        lengths = huffman_code_lengths(freqs)
+        assert set(lengths.values()) == {3}
+
+
+class TestCodebook:
+    def test_canonical_codes_are_prefix_free(self):
+        freqs = {0: 50, 1: 20, 2: 20, 3: 5, 4: 5}
+        book = HuffmanCodebook.from_frequencies(freqs)
+        codes = [(format(book.codes[s], f"0{book.lengths[s]}b")) for s in freqs]
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_serialize_round_trip(self):
+        freqs = {-3: 4, 0: 100, 7: 9}
+        book = HuffmanCodebook.from_frequencies(freqs)
+        restored = HuffmanCodebook.deserialize(book.serialize())
+        assert restored.lengths == book.lengths
+        assert restored.codes == book.codes
+
+    def test_zero_symbol_share_dominant_zero(self):
+        freqs = {0: 990, 1: 5, 2: 5}
+        book = HuffmanCodebook.from_frequencies(freqs)
+        share = book.zero_symbol_share(freqs, zero_symbol=0)
+        assert 0.5 < share < 1.0
+
+    def test_zero_symbol_share_no_zero(self):
+        freqs = {1: 10, 2: 10}
+        book = HuffmanCodebook.from_frequencies(freqs)
+        assert book.zero_symbol_share(freqs, zero_symbol=0) == 0.0
+
+    def test_encoded_bit_size_matches_definition(self):
+        freqs = {0: 3, 1: 2}
+        book = HuffmanCodebook.from_frequencies(freqs)
+        expected = book.lengths[0] * 3 + book.lengths[1] * 2
+        assert book.encoded_bit_size(freqs) == expected
+
+
+class TestCodec:
+    def test_round_trip_random_symbols(self):
+        rng = np.random.default_rng(0)
+        symbols = rng.integers(-50, 50, size=5000)
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(symbols)
+        decoded = codec.decode(payload, book, count)
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_round_trip_skewed_symbols(self):
+        rng = np.random.default_rng(1)
+        symbols = np.where(rng.uniform(size=3000) < 0.9, 0, rng.integers(-5, 5, 3000))
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(symbols)
+        decoded = codec.decode(payload, book, count)
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_skewed_input_compresses_better_than_uniform(self):
+        rng = np.random.default_rng(2)
+        skewed = np.where(rng.uniform(size=4000) < 0.95, 0, rng.integers(-8, 8, 4000))
+        uniform = rng.integers(-8, 8, 4000)
+        codec = HuffmanCodec()
+        skew_size = len(codec.encode(skewed)[0])
+        uniform_size = len(codec.encode(uniform)[0])
+        assert skew_size < uniform_size
+
+    def test_single_symbol_stream(self):
+        codec = HuffmanCodec()
+        symbols = np.full(100, 42)
+        payload, book, count = codec.encode(symbols)
+        decoded = codec.decode(payload, book, count)
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_empty_stream(self):
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(np.array([], dtype=np.int64))
+        assert count == 0
+        assert codec.decode(payload, book, 0).size == 0
+
+    def test_estimate_matches_actual_payload(self):
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(-10, 10, 2000)
+        codec = HuffmanCodec()
+        estimate = codec.estimate_encoded_bytes(symbols)
+        actual = len(codec.encode(symbols)[0])
+        assert abs(estimate - actual) <= 1
+
+    def test_decode_with_truncated_payload_raises(self):
+        codec = HuffmanCodec()
+        symbols = np.arange(-20, 20)
+        payload, book, count = codec.encode(symbols)
+        with pytest.raises(EncodingError):
+            codec.decode(payload[: len(payload) // 4], book, count)

@@ -1,0 +1,134 @@
+"""Tests for run-length, LZ77 and lossless backend encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.encoders.lossless import (
+    DeflateBackend,
+    LZ77Backend,
+    RawBackend,
+    get_lossless_backend,
+)
+from repro.compression.encoders.lz77 import LZ77Codec
+from repro.compression.encoders.rle import (
+    run_length_decode,
+    run_length_encode,
+    zero_run_length_decode,
+    zero_run_length_encode,
+)
+from repro.errors import ConfigurationError, EncodingError
+
+
+class TestRunLength:
+    def test_round_trip(self):
+        data = np.array([1, 1, 1, 2, 2, 0, 0, 0, 0, 5])
+        values, lengths = run_length_encode(data)
+        np.testing.assert_array_equal(run_length_decode(values, lengths), data)
+
+    def test_constant_array_is_one_run(self):
+        values, lengths = run_length_encode(np.zeros(1000, dtype=int))
+        assert values.size == 1
+        assert lengths[0] == 1000
+
+    def test_alternating_array_has_no_compression(self):
+        data = np.arange(50)
+        values, lengths = run_length_encode(data)
+        assert values.size == 50
+
+    def test_empty_array(self):
+        values, lengths = run_length_encode(np.array([], dtype=int))
+        assert run_length_decode(values, lengths).size == 0
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(EncodingError):
+            run_length_decode(np.array([1, 2]), np.array([3]))
+
+
+class TestZeroRunLength:
+    def test_round_trip_with_leading_zeros(self):
+        data = np.array([0, 0, 0, 4, 0, 0, 7, 8, 0], dtype=np.int64)
+        literals, runs = zero_run_length_encode(data)
+        np.testing.assert_array_equal(zero_run_length_decode(literals, runs), data)
+
+    def test_round_trip_no_zeros(self):
+        data = np.array([1, 2, 3], dtype=np.int64)
+        literals, runs = zero_run_length_encode(data)
+        np.testing.assert_array_equal(zero_run_length_decode(literals, runs), data)
+
+    def test_all_zero_input(self):
+        data = np.zeros(17, dtype=np.int64)
+        literals, runs = zero_run_length_encode(data)
+        np.testing.assert_array_equal(zero_run_length_decode(literals, runs), data)
+
+    def test_mostly_zero_is_compact(self):
+        rng = np.random.default_rng(0)
+        data = np.where(rng.uniform(size=10000) < 0.99, 0, 1).astype(np.int64)
+        literals, runs = zero_run_length_encode(data)
+        assert literals.size < data.size // 10
+
+
+class TestLZ77:
+    def test_round_trip_repetitive_data(self):
+        data = b"abcabcabcabc" * 100
+        codec = LZ77Codec()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_round_trip_random_data(self):
+        data = bytes(np.random.default_rng(0).integers(0, 256, 2000, dtype=np.uint8))
+        codec = LZ77Codec()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_empty_input(self):
+        codec = LZ77Codec()
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_repetitive_data_is_smaller_than_tokens_of_random(self):
+        codec = LZ77Codec()
+        repetitive = codec.encode(b"x" * 5000)
+        random_bytes = bytes(np.random.default_rng(1).integers(0, 256, 5000, dtype=np.uint8))
+        random = codec.encode(random_bytes)
+        assert len(repetitive) < len(random)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(EncodingError):
+            LZ77Codec(window_size=0)
+
+    def test_truncated_payload_raises(self):
+        with pytest.raises(EncodingError):
+            LZ77Codec().decode(b"\x01")
+
+
+class TestLosslessBackends:
+    @pytest.mark.parametrize("name", ["deflate", "raw", "lz77"])
+    def test_round_trip(self, name):
+        backend = get_lossless_backend(name)
+        data = b"scientific data " * 200
+        assert backend.decompress(backend.compress(data)) == data
+
+    def test_deflate_reduces_repetitive_payload(self):
+        backend = DeflateBackend()
+        data = b"\x00" * 10000
+        assert len(backend.compress(data)) < 200
+
+    def test_raw_backend_is_identity(self):
+        backend = RawBackend()
+        assert backend.compress(b"abc") == b"abc"
+
+    def test_lz77_backend_round_trip(self):
+        backend = LZ77Backend()
+        data = b"ababab" * 50
+        assert backend.decompress(backend.compress(data)) == data
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_lossless_backend("zstd")
+
+    def test_invalid_deflate_level_raises(self):
+        with pytest.raises(ConfigurationError):
+            DeflateBackend(level=99)
+
+    def test_deflate_corrupt_payload_raises(self):
+        with pytest.raises(EncodingError):
+            DeflateBackend().decompress(b"not deflate data")

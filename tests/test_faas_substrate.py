@@ -1,0 +1,215 @@
+"""Tests for the simulated FuncX-style FaaS substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaaSError, FunctionNotRegisteredError, SchedulingError
+from repro.faas import (
+    BatchScheduler,
+    ContainerPool,
+    FaaSEndpoint,
+    FunctionRegistry,
+    FuncXService,
+    NodeWaitModel,
+    build_faas_service,
+)
+
+
+def _double(x):
+    """Double the input (test function)."""
+    return 2 * x
+
+
+class TestFunctionRegistry:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        fid = registry.register(_double)
+        spec = registry.get(fid)
+        assert spec.callable(21) == 42
+        assert spec.name == "_double"
+        assert "Double" in spec.description
+
+    def test_registration_is_idempotent(self):
+        registry = FunctionRegistry()
+        assert registry.register(_double) == registry.register(_double)
+        assert len(registry) == 1
+
+    def test_different_functions_get_different_ids(self):
+        registry = FunctionRegistry()
+        a = registry.register(_double)
+        b = registry.register(lambda x: x + 1, name="increment")
+        assert a != b
+        assert b in registry
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(FunctionNotRegisteredError):
+            FunctionRegistry().get("fn-doesnotexist")
+
+
+class TestContainerPool:
+    def test_first_call_is_cold(self):
+        pool = ContainerPool(cold_start_s=5.0, warm_start_s=0.1)
+        assert pool.startup_cost("default") == 5.0
+        assert pool.startup_cost("default") == 0.1
+        assert pool.is_warm("default")
+
+    def test_eviction_when_pool_full(self):
+        pool = ContainerPool(max_warm=2)
+        pool.startup_cost("a")
+        pool.startup_cost("b")
+        pool.startup_cost("b")
+        pool.startup_cost("c")  # evicts the least-used warm container ("a")
+        assert pool.is_warm("c")
+        assert not pool.is_warm("a")
+
+    def test_invalidate(self):
+        pool = ContainerPool()
+        pool.startup_cost("x")
+        pool.invalidate("x")
+        assert pool.startup_cost("x") == pool.cold_start_s
+
+
+class TestNodeWaitModel:
+    def test_immediate_is_zero(self, rng):
+        assert NodeWaitModel(kind="immediate").sample(rng) == 0.0
+
+    def test_constant(self, rng):
+        assert NodeWaitModel(kind="constant", scale_s=42.0).sample(rng) == 42.0
+
+    def test_uniform_in_range(self, rng):
+        model = NodeWaitModel(kind="uniform", scale_s=30.0)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(0 <= s <= 30 for s in samples)
+
+    def test_exponential_positive(self, rng):
+        model = NodeWaitModel(kind="exponential", scale_s=10.0)
+        assert all(model.sample(rng) >= 0 for _ in range(50))
+
+    def test_bimodal_has_heavy_tail(self, rng):
+        model = NodeWaitModel(kind="bimodal", scale_s=30.0, heavy_tail_p=0.3,
+                              heavy_tail_scale_s=600.0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert max(samples) > 100.0
+        assert min(samples) < 30.0
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(SchedulingError):
+            NodeWaitModel(kind="weibull").sample(rng)
+
+
+class TestBatchScheduler:
+    def test_request_and_release(self):
+        scheduler = BatchScheduler(total_nodes=8)
+        allocation = scheduler.request(4)
+        assert scheduler.busy_nodes == 4
+        scheduler.release(allocation)
+        assert scheduler.busy_nodes == 0
+
+    def test_double_release_is_harmless(self):
+        scheduler = BatchScheduler(total_nodes=4)
+        allocation = scheduler.request(2)
+        scheduler.release(allocation)
+        scheduler.release(allocation)
+        assert scheduler.busy_nodes == 0
+
+    def test_oversized_request_raises(self):
+        with pytest.raises(SchedulingError):
+            BatchScheduler(total_nodes=4).request(8)
+
+    def test_zero_nodes_raises(self):
+        with pytest.raises(SchedulingError):
+            BatchScheduler(total_nodes=4).request(0)
+
+    def test_immediate_model_has_no_wait(self):
+        scheduler = BatchScheduler(total_nodes=8, wait_model=NodeWaitModel(kind="immediate"))
+        assert scheduler.request(2).wait_s == 0.0
+
+    def test_busy_partition_adds_wait(self):
+        scheduler = BatchScheduler(total_nodes=4, wait_model=NodeWaitModel(kind="immediate"))
+        scheduler.request(4)
+        follow_up = scheduler.request(2)
+        assert follow_up.wait_s > 0.0
+
+    def test_allocations_recorded(self):
+        scheduler = BatchScheduler(total_nodes=8)
+        scheduler.request(1)
+        scheduler.request(2)
+        assert len(scheduler.allocations()) == 2
+
+    def test_invalid_total_nodes(self):
+        with pytest.raises(SchedulingError):
+            BatchScheduler(total_nodes=0)
+
+
+class TestFaaSEndpointAndService:
+    def _endpoint(self, wait_kind="immediate"):
+        return FaaSEndpoint(
+            name="anvil",
+            scheduler=BatchScheduler(total_nodes=16, wait_model=NodeWaitModel(kind=wait_kind)),
+            cores_per_node=128,
+        )
+
+    def test_execute_returns_value_and_timing(self):
+        endpoint = self._endpoint()
+        execution = endpoint.execute(_double, args=(5,), nodes=2)
+        assert execution.value == 10
+        assert execution.total_s >= execution.execution_s
+        assert execution.nodes == 2
+
+    def test_simulated_duration_override(self):
+        endpoint = self._endpoint()
+        execution = endpoint.execute(_double, args=(1,), simulated_duration_s=120.0)
+        assert execution.execution_s == 120.0
+
+    def test_hold_and_release_allocation(self):
+        endpoint = self._endpoint()
+        execution = endpoint.execute(_double, args=(1,), nodes=4, hold_allocation=True)
+        assert endpoint.scheduler.busy_nodes == 4
+        endpoint.release(execution)
+        assert endpoint.scheduler.busy_nodes == 0
+
+    def test_total_cores(self):
+        assert self._endpoint().total_cores == 16 * 128
+
+    def test_invalid_cores(self):
+        with pytest.raises(FaaSError):
+            FaaSEndpoint(name="x", scheduler=BatchScheduler(4), cores_per_node=0)
+
+    def test_service_run_advances_clock(self):
+        service = FuncXService()
+        service.register_endpoint(self._endpoint())
+        fid = service.register_function(_double)
+        before = service.clock.now
+        task = service.run("anvil", fid, args=(3,), simulated_duration_s=10.0)
+        assert task.result == 6
+        assert service.clock.now >= before + 10.0
+        assert task.duration_s >= 10.0
+
+    def test_service_unknown_endpoint_raises(self):
+        service = FuncXService()
+        fid = service.register_function(_double)
+        with pytest.raises(FaaSError):
+            service.run("frontier", fid, args=(1,))
+
+    def test_warm_container_is_faster_on_second_call(self):
+        service = FuncXService()
+        service.register_endpoint(self._endpoint())
+        fid = service.register_function(_double)
+        first = service.run("anvil", fid, args=(1,))
+        second = service.run("anvil", fid, args=(1,))
+        assert second.execution.startup_s < first.execution.startup_s
+
+    def test_build_faas_service_defaults(self):
+        service = build_faas_service()
+        assert set(service.endpoints()) == {"anvil", "bebop", "cori"}
+        # Anvil schedules immediately (the paper's observation).
+        anvil_wait = service.endpoint("anvil").scheduler.wait_model
+        assert anvil_wait.kind == "immediate"
+        assert service.endpoint("bebop").scheduler.wait_model.kind == "bimodal"
+
+    def test_tasks_are_recorded(self):
+        service = build_faas_service()
+        fid = service.register_function(_double)
+        service.run("anvil", fid, args=(2,))
+        assert len(service.tasks()) == 1

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the invariants the rest of the system is built on:
+
+* error-bounded compression never violates the requested bound and is a
+  faithful round trip for every compressor in the registry;
+* the entropy/lossless/grouping codecs are exact inverses;
+* the quantiser respects its bound for arbitrary residual distributions;
+* the GridFTP model is monotone in the ways the paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.compression import ErrorBound, create_compressor
+from repro.compression.encoders.huffman import HuffmanCodec
+from repro.compression.encoders.lz77 import LZ77Codec
+from repro.compression.encoders.rle import (
+    run_length_decode,
+    run_length_encode,
+    zero_run_length_decode,
+    zero_run_length_encode,
+)
+from repro.compression.quantizer import LinearQuantizer
+from repro.core.grouping import FileGrouper
+from repro.features.compressor_features import run_length_estimator
+from repro.transfer import GridFTPEngine, WANLink
+
+SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+FAST = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+small_arrays = arrays(
+    dtype=np.float32,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=18),
+    elements=finite_floats,
+)
+
+
+class TestCompressionInvariants:
+    @SLOW
+    @given(data=small_arrays, rel_bound=st.sampled_from([1e-4, 1e-3, 1e-2, 1e-1]))
+    def test_sz3_error_bound_always_holds(self, data, rel_bound):
+        compressor = create_compressor("sz3-fast")
+        bound = ErrorBound.relative(rel_bound)
+        result = compressor.compress(data, bound)
+        recon = compressor.decompress(result.blob)
+        eb_abs = bound.absolute_for(data)
+        slack = eb_abs * (1 + 1e-9) + np.finfo(np.float32).eps * float(np.max(np.abs(data)))
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= slack
+
+    @SLOW
+    @given(
+        data=small_arrays,
+        name=st.sampled_from(["sz-lorenzo-fast", "sz2", "zfp-like"]),
+    )
+    def test_all_compressors_round_trip_within_bound(self, data, name):
+        compressor = create_compressor(name)
+        bound = ErrorBound.relative(1e-3)
+        result = compressor.compress(data, bound)
+        recon = compressor.decompress(result.blob)
+        eb_abs = bound.absolute_for(data)
+        slack = eb_abs * (1 + 1e-9) + np.finfo(np.float32).eps * float(np.max(np.abs(data)))
+        assert recon.shape == data.shape
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= slack
+
+    @SLOW
+    @given(data=small_arrays)
+    def test_blob_serialisation_is_lossless(self, data):
+        from repro.compression import CompressedBlob
+
+        compressor = create_compressor("sz3-fast")
+        result = compressor.compress(data, ErrorBound.relative(1e-2))
+        blob = CompressedBlob.from_bytes(result.blob.to_bytes())
+        direct = compressor.decompress(result.blob)
+        reparsed = compressor.decompress(blob)
+        np.testing.assert_array_equal(direct, reparsed)
+
+
+class TestQuantizerInvariants:
+    @FAST
+    @given(
+        residuals=arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=1, max_value=300),
+            elements=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        ),
+        error_bound=st.floats(min_value=1e-8, max_value=1e3, allow_nan=False),
+    )
+    def test_quantizer_round_trip_within_bound(self, residuals, error_bound):
+        quantizer = LinearQuantizer()
+        result = quantizer.quantize(residuals, error_bound)
+        recon = quantizer.dequantize(
+            result.codes, result.unpredictable_mask, result.literals, error_bound
+        )
+        escaped = result.unpredictable_mask
+        assert np.allclose(recon[escaped], residuals[escaped])
+        assert np.max(np.abs(recon - residuals), initial=0.0) <= error_bound * (1 + 1e-9)
+
+
+class TestEncoderInvariants:
+    @FAST
+    @given(symbols=st.lists(st.integers(min_value=-5000, max_value=5000), min_size=0, max_size=2000))
+    def test_huffman_round_trip(self, symbols):
+        codec = HuffmanCodec()
+        arr = np.asarray(symbols, dtype=np.int64)
+        payload, book, count = codec.encode(arr)
+        np.testing.assert_array_equal(codec.decode(payload, book, count), arr)
+
+    @FAST
+    @given(data=st.binary(min_size=0, max_size=3000))
+    def test_lz77_round_trip(self, data):
+        codec = LZ77Codec()
+        assert codec.decode(codec.encode(data)) == data
+
+    @FAST
+    @given(values=st.lists(st.integers(min_value=-10, max_value=10), min_size=0, max_size=1000))
+    def test_rle_round_trip(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        run_values, run_lengths = run_length_encode(arr)
+        np.testing.assert_array_equal(run_length_decode(run_values, run_lengths), arr)
+
+    @FAST
+    @given(values=st.lists(st.integers(min_value=-3, max_value=3), min_size=0, max_size=800))
+    def test_zero_rle_round_trip(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        literals, runs = zero_run_length_encode(arr)
+        np.testing.assert_array_equal(zero_run_length_decode(literals, runs), arr)
+
+    @FAST
+    @given(
+        members=st.lists(
+            st.tuples(st.text(alphabet="abcdefgh0123456789_", min_size=1, max_size=12), st.binary(max_size=500)),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_group_pack_unpack_round_trip(self, members):
+        grouper = FileGrouper()
+        group = grouper.pack(members, "g")
+        assert grouper.unpack(group.payload) == members
+
+
+class TestModelInvariants:
+    @FAST
+    @given(
+        p0=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        P0=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_run_length_estimator_is_positive(self, p0, P0):
+        assert run_length_estimator(p0, P0) > 0.0
+
+    @FAST
+    @given(
+        file_size=st.integers(min_value=1_000, max_value=10**9),
+        count=st.integers(min_value=1, max_value=200),
+    )
+    def test_gridftp_duration_monotone_in_volume(self, file_size, count):
+        link = WANLink(source="a", destination="b", bandwidth_bps=1e9,
+                       per_file_overhead_s=0.2, per_stream_bandwidth_bps=3e8)
+        engine = GridFTPEngine()
+        base = engine.estimate([file_size] * count, link)
+        more = engine.estimate([file_size] * (count + 1), link)
+        assert more.duration_s >= base.duration_s
+        assert base.total_bytes == file_size * count
+
+    @FAST
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10**8), min_size=1, max_size=100),
+    )
+    def test_gridftp_speed_never_exceeds_link_bandwidth(self, sizes):
+        link = WANLink(source="a", destination="b", bandwidth_bps=1e9,
+                       per_file_overhead_s=0.01, per_stream_bandwidth_bps=1e9)
+        estimate = GridFTPEngine().estimate(sizes, link)
+        assert estimate.effective_speed_bps <= link.bandwidth_bps * (1 + 1e-9)

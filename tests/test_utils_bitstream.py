@@ -1,0 +1,60 @@
+"""Tests for repro.utils.bitstream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.utils.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte_round_trip(self):
+        writer = BitWriter()
+        writer.write_bits(0b10110010, 8)
+        assert writer.getvalue() == bytes([0b10110010])
+
+    def test_partial_byte_is_padded(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0x3F, 6)
+        writer.write_bit(1)
+        assert writer.bit_length == 7
+
+    def test_negative_bit_count_raises(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_bits(1, -1)
+
+
+class TestBitReader:
+    def test_round_trip_values(self):
+        writer = BitWriter()
+        values = [(5, 4), (1023, 10), (0, 3), (7, 3)]
+        for value, nbits in values:
+            writer.write_bits(value, nbits)
+        reader = BitReader(writer.getvalue())
+        for value, nbits in values:
+            assert reader.read_bits(nbits) == value
+
+    def test_unary_round_trip(self):
+        writer = BitWriter()
+        for value in (0, 3, 7, 1):
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_unary() for _ in range(4)] == [0, 3, 7, 1]
+
+    def test_exhausted_stream_raises(self):
+        reader = BitReader(b"\x00")
+        reader.read_bits(8)
+        with pytest.raises(EncodingError):
+            reader.read_bit()
+
+    def test_remaining_bits(self):
+        reader = BitReader(b"\xff\x00")
+        assert reader.remaining_bits == 16
+        reader.read_bits(5)
+        assert reader.remaining_bits == 11

@@ -1,0 +1,134 @@
+"""Tests for repro.utils.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureExtractionError
+from repro.utils.stats import (
+    DataSummary,
+    byte_entropy,
+    mean_squared_error,
+    normalized_rmse,
+    psnr,
+    shannon_entropy,
+    summarize,
+    value_range,
+)
+
+
+class TestValueRange:
+    def test_simple_range(self):
+        assert value_range(np.array([1.0, 5.0, 3.0])) == 4.0
+
+    def test_constant_array_has_zero_range(self):
+        assert value_range(np.full(10, 2.5)) == 0.0
+
+    def test_integer_input_is_accepted(self):
+        assert value_range(np.array([1, 2, 10])) == 9.0
+
+    def test_empty_array_raises(self):
+        with pytest.raises(FeatureExtractionError):
+            value_range(np.array([]))
+
+
+class TestMSEAndNRMSE:
+    def test_identical_arrays_have_zero_mse(self):
+        a = np.linspace(0, 1, 50)
+        assert mean_squared_error(a, a) == 0.0
+
+    def test_known_mse(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert mean_squared_error(a, b) == pytest.approx(4.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FeatureExtractionError):
+            mean_squared_error(np.zeros(3), np.zeros(4))
+
+    def test_nrmse_normalises_by_range(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 9.0])
+        # errors are 1 each, rmse = 1, range = 10
+        assert normalized_rmse(a, b) == pytest.approx(0.1)
+
+    def test_nrmse_constant_exact_is_zero(self):
+        a = np.full(5, 3.0)
+        assert normalized_rmse(a, a) == 0.0
+
+    def test_nrmse_constant_inexact_is_inf(self):
+        a = np.full(5, 3.0)
+        b = np.full(5, 4.0)
+        assert math.isinf(normalized_rmse(a, b))
+
+
+class TestPSNR:
+    def test_identical_arrays_are_infinite(self):
+        a = np.linspace(0, 1, 100)
+        assert psnr(a, a) == float("inf")
+
+    def test_psnr_formula(self):
+        a = np.array([0.0, 1.0, 0.0, 1.0])
+        b = a + 0.1
+        expected = 20 * math.log10(1.0) - 10 * math.log10(0.01)
+        assert psnr(a, b) == pytest.approx(expected)
+
+    def test_psnr_decreases_with_larger_error(self):
+        a = np.linspace(0, 1, 1000)
+        small = psnr(a, a + 1e-4)
+        large = psnr(a, a + 1e-2)
+        assert small > large
+
+    def test_paper_quality_threshold_is_reachable(self):
+        """Errors at 1e-3 of the range give PSNR well above 50 dB (Fig. 15)."""
+        a = np.linspace(0, 1, 2000)
+        noisy = a + np.random.default_rng(0).uniform(-1e-3, 1e-3, a.size)
+        assert psnr(a, noisy) > 50.0
+
+
+class TestEntropy:
+    def test_shannon_entropy_uniform_symbols(self):
+        symbols = np.arange(16).repeat(10)
+        assert shannon_entropy(symbols) == pytest.approx(4.0)
+
+    def test_shannon_entropy_single_symbol_is_zero(self):
+        assert shannon_entropy(np.zeros(100, dtype=int)) == 0.0
+
+    def test_shannon_entropy_empty_is_zero(self):
+        assert shannon_entropy(np.array([], dtype=int)) == 0.0
+
+    def test_byte_entropy_bounds(self):
+        data = np.random.default_rng(0).normal(size=1000)
+        h = byte_entropy(data)
+        assert 0.0 <= h <= 8.0
+
+    def test_byte_entropy_constant_is_low(self):
+        constant = np.zeros(1000, dtype=np.float32)
+        random = np.random.default_rng(1).normal(size=1000).astype(np.float32)
+        assert byte_entropy(constant) < byte_entropy(random)
+
+    def test_byte_entropy_correlates_with_chaos(self):
+        """The paper uses byte entropy as a 'chaos level' indicator."""
+        smooth = np.linspace(0, 1, 4096).astype(np.float32)
+        rough = np.random.default_rng(2).normal(size=4096).astype(np.float32)
+        assert byte_entropy(smooth) < byte_entropy(rough)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        summary = summarize(data)
+        assert isinstance(summary, DataSummary)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.value_range == 3.0
+        assert summary.size == 4
+        assert summary.mean == pytest.approx(2.5)
+
+    def test_summary_as_dict_round_trip(self):
+        data = np.linspace(-5, 5, 64)
+        d = summarize(data).as_dict()
+        assert set(d) == {"minimum", "maximum", "value_range", "mean", "std", "entropy", "size"}
