@@ -1,0 +1,116 @@
+"""Block scaling — whole-array vs blocked compression throughput.
+
+The blocked engine is the architectural change that lets the
+reproduction exploit many cores per file (the paper compresses with
+SZ-style pipelines over independent blocks).  This micro-benchmark
+compresses one >= 64 MB synthetic field three ways — whole-array on one
+thread, blocked on one thread, and blocked through the executor's block
+thread pool — and records the throughput of each.  Blocked execution
+must beat the single-thread whole-array path: blocks keep the working
+set cache-resident and the deflate stage operates on short buffers, and
+on multicore hosts the thread pool overlaps the GIL-releasing kernels
+on top of that.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressedBlob, ErrorBound, create_compressor
+from repro.core import ParallelExecutor
+
+from common import print_table
+
+COMPRESSOR = "sz-lorenzo-fast"
+ERROR_BOUND = 1e-3
+FIELD_SHAPE = (4096, 4096)   # float32 => 64 MiB
+BLOCK_SHAPE = 512
+BLOCK_WORKERS = 4
+
+
+def _synthetic_field() -> np.ndarray:
+    """A >= 64 MB field with smooth structure plus mild noise."""
+    rng = np.random.default_rng(42)
+    x = np.linspace(0, 8 * np.pi, FIELD_SHAPE[0])
+    field = np.sin(x)[:, None] * np.cos(x)[None, :]
+    field = field + 0.01 * rng.standard_normal(FIELD_SHAPE)
+    return field.astype(np.float32)
+
+
+def _measure(compressor, data, bound, rounds: int = 2) -> dict:
+    """Measure one compression path, keeping the best of ``rounds`` runs.
+
+    Best-of-N makes the timing comparison robust to one-off scheduler
+    noise on shared CI runners (a single descheduled slice would
+    otherwise invert the blocked-vs-whole verdict and abort the suite).
+    """
+    elapsed = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = compressor.compress(data, bound)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    payload = result.blob.to_bytes()
+    t0 = time.perf_counter()
+    recon = compressor.decompress(CompressedBlob.from_bytes(payload))
+    decompress_s = time.perf_counter() - t0
+    err = float(np.abs(data.astype(np.float64) - recon.astype(np.float64)).max())
+    return {
+        "compress_s": elapsed,
+        "decompress_s": decompress_s,
+        "throughput_mb_s": data.nbytes / 1e6 / elapsed,
+        "ratio": result.compression_ratio,
+        "max_abs_error": err,
+        "blocks": result.blob.num_blocks,
+    }
+
+
+@pytest.mark.benchmark(group="block-scaling")
+def test_blocked_compression_beats_whole_array(benchmark):
+    data = _synthetic_field()
+    assert data.nbytes >= 64 * 2**20
+    bound = ErrorBound(value=ERROR_BOUND, mode="abs")
+
+    def run():
+        whole = _measure(create_compressor(COMPRESSOR), data, bound)
+        blocked_serial = _measure(
+            create_compressor(COMPRESSOR).configure_blocks(block_shape=BLOCK_SHAPE),
+            data,
+            bound,
+        )
+        executor = ParallelExecutor(block_workers=BLOCK_WORKERS)
+        blocked_parallel = _measure(
+            create_compressor(COMPRESSOR).configure_blocks(
+                block_shape=BLOCK_SHAPE, block_executor=executor.map_blocks
+            ),
+            data,
+            bound,
+        )
+        return whole, blocked_serial, blocked_parallel
+
+    whole, blocked_serial, blocked_parallel = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    rows = [
+        {"path": "whole-array (1 thread)", **whole},
+        {"path": "blocked (1 thread)", **blocked_serial},
+        {"path": f"blocked ({BLOCK_WORKERS} workers)", **blocked_parallel},
+    ]
+    print_table(
+        f"Block scaling: {COMPRESSOR} on {data.nbytes / 2**20:.0f} MiB "
+        f"({FIELD_SHAPE[0]}x{FIELD_SHAPE[1]} float32, block {BLOCK_SHAPE})",
+        rows,
+    )
+    # Every path honours the error bound (modulo the float32 cast slack
+    # the verify path also allows: the float64 reconstruction rounds by up
+    # to eps * |value| when stored back as float32).
+    cast_slack = float(np.finfo(np.float32).eps) * float(np.abs(data).max())
+    for row in rows:
+        assert row["max_abs_error"] <= ERROR_BOUND * (1 + 1e-9) + cast_slack
+    assert whole["blocks"] == 1
+    assert blocked_parallel["blocks"] == (FIELD_SHAPE[0] // BLOCK_SHAPE) ** 2
+    # The acceptance bar: blocked execution with block_workers > 1 beats
+    # the single-thread whole-array pipeline on a >= 64 MB field.
+    assert blocked_parallel["compress_s"] < whole["compress_s"]

@@ -20,13 +20,32 @@ from typing import List, Optional
 
 import numpy as np
 
-from .compression import ErrorBound, available_compressors, create_compressor
-from .core import Ocelot, OcelotConfig
+from .compression import ErrorBound, available_compressors, create_blocked_compressor
+from .core import Ocelot, OcelotConfig, ParallelExecutor
 from .datasets import application_names, generate_application, generate_field
 from .prediction import build_training_records, train_test_split_records, QualityPredictor
 from .utils.sizes import format_bytes, format_duration
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _add_block_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--block-size", type=_positive_int, default=None,
+                     help="partition each array into blocks of this edge length "
+                          "and compress them independently (blob format v2)")
+    sub.add_argument("--block-workers", type=_positive_int, default=1,
+                     help="threads used to (de)compress blocks concurrently")
+    sub.add_argument("--adaptive-predictor", action="store_true",
+                     help="per-block SZ3-style predictor selection "
+                          "(Lorenzo vs. interpolation, keep the smaller); "
+                          "requires --block-size")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--error-bound", type=float, default=1e-3)
     compress.add_argument("--mode", default="rel", choices=["rel", "abs"])
     compress.add_argument("--scale", type=float, default=0.08)
+    _add_block_arguments(compress)
     compress.add_argument("--json", action="store_true")
 
     transfer = sub.add_parser("transfer", help="simulate an end-to-end dataset transfer")
@@ -67,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     transfer.add_argument("--compressor", default="sz3-fast", choices=available_compressors())
     transfer.add_argument("--error-bound", type=float, default=1e-3)
     transfer.add_argument("--modes", nargs="+", default=["direct", "compressed", "grouped"])
+    _add_block_arguments(transfer)
     transfer.add_argument("--json", action="store_true")
     return parser
 
@@ -138,12 +159,18 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         field = generate_field(args.application, spec_field, scale=args.scale)
         data = field.data
         label = f"{args.application}/{spec_field}"
-    compressor = create_compressor(args.compressor)
+    compressor = create_blocked_compressor(
+        args.compressor,
+        block_shape=args.block_size,
+        adaptive_predictor=args.adaptive_predictor,
+        block_executor=ParallelExecutor(block_workers=args.block_workers).map_blocks,
+    )
     bound = ErrorBound(value=args.error_bound, mode=args.mode)
     result = compressor.compress(data, bound, collect_quality=True)
     payload = {
         "input": label,
         "shape": list(np.asarray(data).shape),
+        "num_blocks": result.blob.num_blocks,
         "original_bytes": result.stats.original_bytes,
         "compressed_bytes": result.stats.compressed_bytes,
         "compression_ratio": round(result.compression_ratio, 3),
@@ -169,6 +196,9 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         error_bound=args.error_bound,
         compressor=args.compressor,
         size_scale=args.size_scale,
+        block_size=args.block_size,
+        block_workers=args.block_workers,
+        adaptive_predictor=args.adaptive_predictor,
     )
     ocelot = Ocelot(config)
     comparison = ocelot.compare_modes(
@@ -202,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``ocelot`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "adaptive_predictor", False) and not getattr(args, "block_size", None):
+        parser.error("--adaptive-predictor requires --block-size")
     handler = _COMMANDS[args.command]
     return handler(args)
 

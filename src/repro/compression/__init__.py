@@ -14,6 +14,7 @@ The public surface mirrors what the paper uses:
 
 from __future__ import annotations
 
+from .blocking import BlockPlan, BlockSpec, normalize_block_shape
 from .errorbound import ErrorBound, ErrorBoundMode
 from .interface import (
     CompressedBlob,
@@ -26,6 +27,7 @@ from .quantizer import LinearQuantizer, QuantizationResult
 from .registry import (
     available_compressors,
     compressor_type_id,
+    create_blocked_compressor,
     create_compressor,
     register_compressor,
 )
@@ -33,6 +35,9 @@ from .sz import SZ2Compressor, SZ3Compressor, SZ3LorenzoCompressor, PipelineConf
 from .zfp import ZFPLikeCompressor
 
 __all__ = [
+    "BlockPlan",
+    "BlockSpec",
+    "normalize_block_shape",
     "ErrorBound",
     "ErrorBoundMode",
     "Compressor",
@@ -44,6 +49,7 @@ __all__ = [
     "QuantizationResult",
     "available_compressors",
     "create_compressor",
+    "create_blocked_compressor",
     "register_compressor",
     "compressor_type_id",
     "SZ2Compressor",

@@ -1,0 +1,167 @@
+"""Block partitioning for chunk-based compression pipelines.
+
+Ocelot's speed on real clusters comes from running SZ-style pipelines
+over many independent data blocks at once.  This module provides the
+block layer those pipelines are built on: :class:`BlockSpec` describes
+one N-D sub-box of an array, and :class:`BlockPlan` partitions an
+arbitrary N-D shape into a grid of fixed-size blocks (edge blocks are
+clipped to the array bounds, never padded).  Blocks are contiguous
+copies, so each one can be encoded, transferred and decoded without any
+reference to its neighbours — which is what makes per-block parallel
+execution and random-access decompression possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import CompressionError
+
+__all__ = ["BlockSpec", "BlockPlan", "normalize_block_shape"]
+
+BlockShapeLike = Union[int, Sequence[int]]
+
+
+def normalize_block_shape(
+    array_shape: Tuple[int, ...], block_shape: BlockShapeLike
+) -> Tuple[int, ...]:
+    """Normalise a block-shape request against an array shape.
+
+    An integer applies along every axis; a sequence must match the array
+    dimensionality.  Each entry is clipped to the corresponding array
+    dimension so a block is never larger than the array itself.
+    """
+    if isinstance(block_shape, (int, np.integer)):
+        requested = tuple(int(block_shape) for _ in array_shape)
+    else:
+        requested = tuple(int(b) for b in block_shape)
+        if len(requested) != len(array_shape):
+            raise CompressionError(
+                f"block shape {requested} does not match array rank {len(array_shape)}"
+            )
+    if any(b < 1 for b in requested):
+        raise CompressionError(f"block dimensions must be >= 1, got {requested}")
+    return tuple(min(b, d) for b, d in zip(requested, array_shape))
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One N-D sub-box of an array: where it starts and how big it is."""
+
+    block_id: int
+    origin: Tuple[int, ...]
+    shape: Tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the block."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements inside the block."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    def slices(self) -> Tuple[slice, ...]:
+        """Index tuple selecting this block from its parent array."""
+        return tuple(slice(o, o + s) for o, s in zip(self.origin, self.shape))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form used in blob headers."""
+        return {
+            "id": int(self.block_id),
+            "origin": [int(o) for o in self.origin],
+            "shape": [int(s) for s in self.shape],
+        }
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "BlockSpec":
+        """Rebuild a spec from its :meth:`as_dict` form."""
+        return cls(
+            block_id=int(entry["id"]),
+            origin=tuple(int(o) for o in entry["origin"]),
+            shape=tuple(int(s) for s in entry["shape"]),
+        )
+
+
+class BlockPlan:
+    """A partition of an N-D array shape into a grid of blocks.
+
+    Blocks are enumerated in C (row-major) order of the block grid; block
+    ids are dense, starting at zero, so a plan built from the same shape
+    and block shape on the decoding side enumerates identical specs.
+    """
+
+    def __init__(self, array_shape: Sequence[int], block_shape: BlockShapeLike) -> None:
+        self.array_shape: Tuple[int, ...] = tuple(int(d) for d in array_shape)
+        if not self.array_shape or any(d < 1 for d in self.array_shape):
+            raise CompressionError(
+                f"cannot partition an array of shape {self.array_shape}"
+            )
+        self.block_shape: Tuple[int, ...] = normalize_block_shape(
+            self.array_shape, block_shape
+        )
+        self.grid_shape: Tuple[int, ...] = tuple(
+            -(-d // b) for d, b in zip(self.array_shape, self.block_shape)
+        )
+        self.blocks: List[BlockSpec] = []
+        for block_id, grid_index in enumerate(np.ndindex(*self.grid_shape)):
+            origin = tuple(g * b for g, b in zip(grid_index, self.block_shape))
+            shape = tuple(
+                min(b, d - o)
+                for b, d, o in zip(self.block_shape, self.array_shape, origin)
+            )
+            self.blocks.append(BlockSpec(block_id=block_id, origin=origin, shape=shape))
+
+    @classmethod
+    def partition(
+        cls, array_shape: Sequence[int], block_shape: BlockShapeLike
+    ) -> "BlockPlan":
+        """Build a plan partitioning ``array_shape`` into ``block_shape`` blocks."""
+        return cls(array_shape, block_shape)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[BlockSpec]:
+        return iter(self.blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the partition."""
+        return len(self.blocks)
+
+    def extract(self, array: np.ndarray, spec: BlockSpec) -> np.ndarray:
+        """Contiguous copy of one block of ``array``."""
+        arr = np.asarray(array)
+        if arr.shape != self.array_shape:
+            raise CompressionError(
+                f"array shape {arr.shape} does not match plan shape {self.array_shape}"
+            )
+        return np.ascontiguousarray(arr[spec.slices()])
+
+    def assemble(
+        self,
+        block_arrays: Mapping[int, np.ndarray],
+        dtype: Union[str, np.dtype] = np.float64,
+    ) -> np.ndarray:
+        """Stitch per-block arrays back into one array of the plan's shape."""
+        out = np.empty(self.array_shape, dtype=np.dtype(dtype))
+        for spec in self.blocks:
+            try:
+                block = block_arrays[spec.block_id]
+            except KeyError as exc:
+                raise CompressionError(f"missing block {spec.block_id} during assembly") from exc
+            block = np.asarray(block)
+            if block.shape != spec.shape:
+                raise CompressionError(
+                    f"block {spec.block_id} has shape {block.shape}, expected {spec.shape}"
+                )
+            out[spec.slices()] = block
+        return out

@@ -29,7 +29,11 @@ __all__ = [
 ]
 
 _MAGIC = b"OCLT"
-_FORMAT_VERSION = 1
+#: Current on-the-wire version.  v2 adds the optional per-block section
+#: layout (a ``block_index`` header entry plus one section per block);
+#: the byte layout itself is unchanged, so v1 blobs remain readable.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 class SectionContainer:
@@ -44,6 +48,9 @@ class SectionContainer:
     def __init__(self, header: Optional[Dict[str, Any]] = None) -> None:
         self.header: Dict[str, Any] = dict(header or {})
         self._sections: Dict[str, bytes] = {}
+        #: Version the container was parsed from (writes always use the
+        #: current :data:`_FORMAT_VERSION`).
+        self.source_version: int = _FORMAT_VERSION
 
     def add_section(self, name: str, payload: bytes) -> None:
         """Add a named binary section (overwrites an existing one)."""
@@ -76,13 +83,26 @@ class SectionContainer:
         """Names of all stored sections, in insertion order."""
         return list(self._sections)
 
-    def to_bytes(self) -> bytes:
-        """Serialise the container."""
+    def _header_bytes(self) -> bytes:
         header = dict(self.header)
         header["_sections"] = [
             {"name": name, "size": len(payload)} for name, payload in self._sections.items()
         ]
-        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        return json.dumps(header, sort_keys=True).encode("utf-8")
+
+    def serialized_size(self) -> int:
+        """Size :meth:`to_bytes` would produce, without joining the payloads.
+
+        Only the (small) JSON header is materialised; section bytes are
+        summed in place, so this is cheap even for multi-GB containers.
+        """
+        return 12 + len(self._header_bytes()) + sum(
+            len(payload) for payload in self._sections.values()
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise the container."""
+        header_bytes = self._header_bytes()
         parts = [
             _MAGIC,
             struct.pack("<II", _FORMAT_VERSION, len(header_bytes)),
@@ -97,7 +117,7 @@ class SectionContainer:
         if len(data) < 12 or data[:4] != _MAGIC:
             raise EncodingError("not a valid Ocelot container (bad magic)")
         version, header_len = struct.unpack("<II", data[4:12])
-        if version != _FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise EncodingError(f"unsupported container version {version}")
         header_end = 12 + header_len
         if header_end > len(data):
@@ -105,6 +125,7 @@ class SectionContainer:
         header = json.loads(data[12:header_end].decode("utf-8"))
         sections = header.pop("_sections", [])
         container = cls(header)
+        container.source_version = version
         offset = header_end
         for entry in sections:
             size = int(entry["size"])
@@ -148,8 +169,7 @@ class CompressedBlob:
         """Size in bytes of the original (uncompressed) array."""
         return self.num_elements * np.dtype(self.dtype).itemsize
 
-    def to_bytes(self) -> bytes:
-        """Serialise the blob (header + sections) to bytes."""
+    def _sync_header(self) -> None:
         self.container.header.update(
             {
                 "compressor": self.compressor,
@@ -159,6 +179,10 @@ class CompressedBlob:
                 "metadata": self.metadata,
             }
         )
+
+    def to_bytes(self) -> bytes:
+        """Serialise the blob (header + sections) to bytes."""
+        self._sync_header()
         return self.container.to_bytes()
 
     @classmethod
@@ -180,8 +204,42 @@ class CompressedBlob:
 
     @property
     def nbytes(self) -> int:
-        """Serialised size of the blob in bytes."""
-        return len(self.to_bytes())
+        """Serialised size of the blob in bytes.
+
+        Computed from the header and per-section sizes without joining the
+        section payloads; this sits on the orchestrator's per-file hot path
+        and must not re-serialise the blob on every access.
+        """
+        self._sync_header()
+        return self.container.serialized_size()
+
+    # ------------------------------------------------------------------ #
+    # Blob format v2: per-block layout
+    # ------------------------------------------------------------------ #
+    @property
+    def format_version(self) -> int:
+        """On-the-wire version this blob was parsed from (or will be written as)."""
+        return self.container.source_version
+
+    @property
+    def is_blocked(self) -> bool:
+        """True when the blob stores one section per block (format v2)."""
+        return bool(self.container.header.get("block_index"))
+
+    @property
+    def block_index(self) -> List[Dict[str, Any]]:
+        """The per-block index (empty for whole-array / v1 blobs).
+
+        Each entry carries the block ``id``, ``origin``, ``shape``, the
+        ``predictor`` that encoded it and the name of its ``section``.
+        """
+        return list(self.container.header.get("block_index", []))
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of independently decodable blocks (1 for whole-array blobs)."""
+        index = self.container.header.get("block_index")
+        return len(index) if index else 1
 
 
 @dataclass

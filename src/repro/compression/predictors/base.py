@@ -66,6 +66,30 @@ class Predictor(abc.ABC):
     ) -> np.ndarray:
         """Reconstruct an array of ``shape`` from an encoding."""
 
+    def encode_block(self, block: np.ndarray, error_bound_abs: float) -> PredictorOutput:
+        """Encode one independent block of a larger array.
+
+        Blocks carry no neighbour context, so the default is exactly
+        :meth:`encode` on a contiguous copy; predictors whose state depends
+        on global array geometry may override this.
+        """
+        return self.encode(np.ascontiguousarray(block), error_bound_abs)
+
+    def decode_block(
+        self,
+        codes: np.ndarray,
+        unpredictable_mask: np.ndarray,
+        literals: np.ndarray,
+        aux: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+        block_shape: Tuple[int, ...],
+        error_bound_abs: float,
+    ) -> np.ndarray:
+        """Reconstruct one block previously produced by :meth:`encode_block`."""
+        return self.decode(
+            codes, unpredictable_mask, literals, aux, meta, block_shape, error_bound_abs
+        )
+
     def describe(self) -> Dict[str, Any]:
         """Short description of the predictor configuration."""
         return {"name": self.name}

@@ -8,11 +8,12 @@ registry maps those names to factory callables.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..errors import UnknownCompressorError
+from .blocking import BlockShapeLike
 from .interface import Compressor
-from .sz.pipeline import PipelineConfig
+from .sz.pipeline import BlockMapper, PipelineConfig, PredictionPipelineCompressor
 from .sz.sz2 import SZ2Compressor
 from .sz.sz3 import SZ3Compressor, SZ3LorenzoCompressor
 from .zfp.zfp import ZFPLikeCompressor
@@ -20,6 +21,7 @@ from .zfp.zfp import ZFPLikeCompressor
 __all__ = [
     "available_compressors",
     "create_compressor",
+    "create_blocked_compressor",
     "register_compressor",
     "compressor_type_id",
 ]
@@ -47,6 +49,31 @@ def create_compressor(name: str, **kwargs) -> Compressor:
             f"unknown compressor {name!r}; available: {valid}"
         ) from exc
     return factory(**kwargs)
+
+
+def create_blocked_compressor(
+    name: str,
+    block_shape: Optional[BlockShapeLike] = None,
+    adaptive_predictor: bool = False,
+    block_executor: Optional[BlockMapper] = None,
+    **kwargs,
+) -> Compressor:
+    """Instantiate a compressor and wire up blocked-mode execution.
+
+    Non-pipeline compressors are returned unchanged.  Pipelines always get
+    the block executor (decoding a v2 blob fans out per block even when
+    this side does not *produce* blocked blobs); ``block_shape`` switches
+    them into producing blocked blobs too.  This is the single place the
+    orchestrator and CLI share for blocked-mode wiring.
+    """
+    compressor = create_compressor(name, **kwargs)
+    if isinstance(compressor, PredictionPipelineCompressor):
+        compressor.configure_blocks(block_executor=block_executor)
+        if block_shape:
+            compressor.configure_blocks(
+                block_shape=block_shape, adaptive_predictor=adaptive_predictor
+            )
+    return compressor
 
 
 def compressor_type_id(name: str) -> int:

@@ -11,19 +11,28 @@ paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...errors import CompressionError, ConfigurationError
+from ..blocking import BlockPlan, BlockShapeLike, BlockSpec
 from ..encoders.huffman import HuffmanCodec
 from ..encoders.lossless import LosslessBackend, get_lossless_backend
 from ..interface import CompressedBlob, Compressor, SectionContainer
+from ..predictors import create_predictor
 from ..predictors.base import Predictor, PredictorOutput
+from ..predictors.interpolation import InterpolationPredictor
+from ..predictors.lorenzo import LorenzoPredictor
 
 __all__ = ["PipelineConfig", "PredictionPipelineCompressor"]
 
 _ENTROPY_STAGES = ("huffman", "none")
+
+#: A callable mapping per-block work over a collection of items; the
+#: orchestrator injects :meth:`repro.core.parallel.ParallelExecutor.map_blocks`
+#: here so blocks of one file compress/decompress concurrently.
+BlockMapper = Callable[[Callable[[Any], Any], Sequence[Any]], List[Any]]
 
 
 @dataclass
@@ -51,21 +60,47 @@ class PredictionPipelineCompressor(Compressor):
         predictor: Predictor,
         config: Optional[PipelineConfig] = None,
         name: Optional[str] = None,
+        block_shape: Optional[BlockShapeLike] = None,
+        adaptive_predictor: bool = False,
+        block_executor: Optional[BlockMapper] = None,
     ) -> None:
         self.predictor = predictor
         self.config = config or PipelineConfig()
         if name:
             self.name = name
+        self.block_shape = block_shape
+        self.adaptive_predictor = bool(adaptive_predictor)
+        self.block_executor = block_executor
         self._huffman = HuffmanCodec()
         self._lossless: LosslessBackend = get_lossless_backend(
             self.config.lossless_backend, **self.config.lossless_options
         )
+
+    def configure_blocks(
+        self,
+        block_shape: Optional[BlockShapeLike] = None,
+        adaptive_predictor: Optional[bool] = None,
+        block_executor: Optional[BlockMapper] = None,
+    ) -> "PredictionPipelineCompressor":
+        """Switch this pipeline into (or re-tune) blocked mode.
+
+        Returns ``self`` so callers can chain off a registry factory.
+        """
+        if block_shape is not None:
+            self.block_shape = block_shape
+        if adaptive_predictor is not None:
+            self.adaptive_predictor = bool(adaptive_predictor)
+        if block_executor is not None:
+            self.block_executor = block_executor
+        return self
 
     # ------------------------------------------------------------------ #
     # Compressor interface
     # ------------------------------------------------------------------ #
     def compress_array(self, data: np.ndarray, error_bound_abs: float) -> CompressedBlob:
         arr = np.asarray(data)
+        if self.block_shape is not None and arr.ndim > 0:
+            return self._compress_blocked(arr, error_bound_abs)
         dtype = str(arr.dtype)
         encoding = self.predictor.encode(arr, error_bound_abs)
         inner = self._serialize_encoding(encoding)
@@ -88,13 +123,10 @@ class PredictionPipelineCompressor(Compressor):
         )
 
     def decompress_blob(self, blob: CompressedBlob) -> np.ndarray:
+        if blob.is_blocked:
+            return self._decompress_blocked(blob)
         payload = blob.container.get_section("payload")
-        backend_name = blob.container.header.get("lossless_backend", self._lossless.name)
-        backend = (
-            self._lossless
-            if backend_name == self._lossless.name
-            else get_lossless_backend(backend_name)
-        )
+        backend = self._backend_for(blob)
         inner_bytes = backend.decompress(payload)
         inner = SectionContainer.from_bytes(inner_bytes)
         codes, mask, literals, aux, meta = self._deserialize_encoding(inner)
@@ -104,12 +136,139 @@ class PredictionPipelineCompressor(Compressor):
         return recon.astype(np.dtype(blob.dtype), copy=False)
 
     def describe(self) -> Dict[str, Any]:
-        return {
+        description = {
             "name": self.name,
             "predictor": self.predictor.describe(),
             "entropy_stage": self.config.entropy_stage,
             "lossless_backend": self.config.lossless_backend,
         }
+        if self.block_shape is not None:
+            description["block_shape"] = self.block_shape
+            description["adaptive_predictor"] = self.adaptive_predictor
+        return description
+
+    # ------------------------------------------------------------------ #
+    # Blocked mode (blob format v2)
+    # ------------------------------------------------------------------ #
+    def _map_blocks(self, func: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        if self.block_executor is not None and len(items) > 1:
+            return list(self.block_executor(func, items))
+        return [func(item) for item in items]
+
+    def _backend_for(self, blob: CompressedBlob) -> LosslessBackend:
+        backend_name = blob.container.header.get("lossless_backend", self._lossless.name)
+        if backend_name == self._lossless.name:
+            return self._lossless
+        return get_lossless_backend(backend_name)
+
+    def _candidate_predictors(self, block: np.ndarray) -> List[Predictor]:
+        """Predictors competing for one block under adaptive selection.
+
+        SZ3-style adaptive selection tries the Lorenzo and interpolation
+        predictors per block and keeps whichever compresses smaller; the
+        pipeline's own predictor always competes too.  Blocks with
+        non-finite values only use Lorenzo, whose literal fallback handles
+        them unconditionally.
+        """
+        if not self.adaptive_predictor:
+            return [self.predictor]
+        if not np.isfinite(block).all():
+            if isinstance(self.predictor, LorenzoPredictor):
+                return [self.predictor]
+            return [LorenzoPredictor()]
+        candidates: List[Predictor] = [self.predictor]
+        names = {self.predictor.name}
+        if LorenzoPredictor.name not in names:
+            candidates.append(LorenzoPredictor())
+            names.add(LorenzoPredictor.name)
+        if InterpolationPredictor.name not in names:
+            candidates.append(InterpolationPredictor())
+            names.add(InterpolationPredictor.name)
+        return candidates
+
+    def _compress_blocked(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
+        plan = BlockPlan.partition(arr.shape, self.block_shape)
+
+        def encode_block(spec):
+            block = plan.extract(arr, spec)
+            best_name = None
+            best_payload = None
+            for predictor in self._candidate_predictors(block):
+                encoding = predictor.encode_block(block, error_bound_abs)
+                payload = self._lossless.compress(self._serialize_encoding(encoding))
+                if best_payload is None or len(payload) < len(best_payload):
+                    best_payload = payload
+                    best_name = predictor.name
+            return spec, best_name, best_payload
+
+        results = self._map_blocks(encode_block, plan.blocks)
+        outer = SectionContainer(
+            header={
+                "predictor": self.predictor.name,
+                "entropy_stage": self.config.entropy_stage,
+                "lossless_backend": self._lossless.name,
+                "block_shape": list(plan.block_shape),
+            }
+        )
+        block_index: List[Dict[str, Any]] = []
+        for spec, predictor_name, payload in results:
+            section = f"block:{spec.block_id}"
+            outer.add_section(section, payload)
+            entry = spec.as_dict()
+            entry["predictor"] = predictor_name
+            entry["section"] = section
+            block_index.append(entry)
+        outer.header["block_index"] = block_index
+        return CompressedBlob(
+            compressor=self.name,
+            shape=arr.shape,
+            dtype=str(arr.dtype),
+            error_bound_abs=error_bound_abs,
+            container=outer,
+            metadata={
+                "predictor": self.predictor.name,
+                "num_blocks": len(block_index),
+                "adaptive_predictor": self.adaptive_predictor,
+            },
+        )
+
+    def _predictor_for(self, name: str, meta: Dict[str, Any]) -> Predictor:
+        # Rebuild the predictor from the block's recorded meta rather than
+        # assuming this pipeline's own instance matches: the encoder may
+        # have used different parameters (regression window, interpolation
+        # order, bin radius) than the decoding side's registry default.
+        try:
+            return create_predictor(name, meta)
+        except CompressionError:
+            if name == self.predictor.name:
+                # Custom predictor unknown to the factory; the pipeline's
+                # own instance is the only candidate.
+                return self.predictor
+            raise
+
+    def _decompress_blocked(self, blob: CompressedBlob) -> np.ndarray:
+        backend = self._backend_for(blob)
+        out = np.empty(blob.shape, dtype=np.float64)
+
+        def decode_block(entry):
+            inner_bytes = backend.decompress(blob.container.get_section(entry["section"]))
+            inner = SectionContainer.from_bytes(inner_bytes)
+            codes, mask, literals, aux, meta = self._deserialize_encoding(inner)
+            predictor = self._predictor_for(entry["predictor"], meta)
+            spec = BlockSpec.from_dict(entry)
+            recon = predictor.decode_block(
+                codes, mask, literals, aux, meta, spec.shape, blob.error_bound_abs
+            )
+            # Each block writes a disjoint region of the output, so the
+            # per-block tasks can run concurrently without locking.
+            out[spec.slices()] = recon
+            return spec.block_id
+
+        index = blob.block_index
+        if not index:
+            raise CompressionError("blocked blob is missing its block index")
+        self._map_blocks(decode_block, index)
+        return out.astype(np.dtype(blob.dtype), copy=False)
 
     # ------------------------------------------------------------------ #
     # Encoding serialisation

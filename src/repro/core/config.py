@@ -42,6 +42,14 @@ class OcelotConfig:
             sentinel starts transferring raw data.
         verify_error_bound: decompress-and-check after compression.
         sample_fraction: subsampling used by feature extraction.
+        block_size: when set, each file is partitioned into blocks of this
+            edge length (per axis) and the blocks are compressed
+            independently (blob format v2); ``None`` keeps the whole-array
+            pipeline.
+        block_workers: local threads used to (de)compress the blocks of
+            one file concurrently.
+        adaptive_predictor: per-block SZ3-style predictor selection (try
+            Lorenzo vs. interpolation per block, keep the smaller).
     """
 
     error_bound: float = 1e-3
@@ -60,6 +68,9 @@ class OcelotConfig:
     sentinel_wait_threshold_s: float = 5.0
     verify_error_bound: bool = False
     sample_fraction: float = 0.01
+    block_size: Optional[int] = None
+    block_workers: int = 1
+    adaptive_predictor: bool = False
     size_scale: float = 1.0
     work_time_scale: Optional[float] = None
     assumed_compression_throughput_mbps: Optional[float] = None
@@ -81,6 +92,15 @@ class OcelotConfig:
             raise ConfigurationError("group_world_size must be >= 1")
         if not 0 < self.sample_fraction <= 1:
             raise ConfigurationError("sample_fraction must be in (0, 1]")
+        if self.block_size is not None and self.block_size < 1:
+            raise ConfigurationError("block_size must be >= 1 (or None for whole-array)")
+        if self.block_workers < 1:
+            raise ConfigurationError("block_workers must be >= 1")
+        if self.adaptive_predictor and not self.block_size:
+            raise ConfigurationError(
+                "adaptive_predictor requires block_size (per-block selection "
+                "only applies in blocked mode)"
+            )
         if self.size_scale <= 0:
             raise ConfigurationError("size_scale must be positive")
         if self.work_time_scale is not None and self.work_time_scale <= 0:

@@ -101,11 +101,15 @@ class ParallelExecutor:
         self,
         cost_model: Optional[ParallelCostModel] = None,
         local_workers: int = 1,
+        block_workers: int = 1,
     ) -> None:
         if local_workers < 1:
             raise ConfigurationError("local_workers must be >= 1")
+        if block_workers < 1:
+            raise ConfigurationError("block_workers must be >= 1")
         self.cost_model = cost_model or ParallelCostModel()
         self.local_workers = local_workers
+        self.block_workers = block_workers
 
     # ------------------------------------------------------------------ #
     # Real execution
@@ -115,6 +119,20 @@ class ParallelExecutor:
         if self.local_workers == 1 or len(items) <= 1:
             return [func(item) for item in items]
         with ThreadPoolExecutor(max_workers=self.local_workers) as pool:
+            return list(pool.map(func, items))
+
+    def map_blocks(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply per-block work concurrently on the block thread pool.
+
+        This is the fan-out the blocked compression pipelines dispatch
+        through: the hot kernels (NumPy ufuncs, deflate) release the GIL,
+        so blocks of one file genuinely overlap on multicore hosts.
+        Results are returned in item order.
+        """
+        if self.block_workers == 1 or len(items) <= 1:
+            return [func(item) for item in items]
+        workers = min(self.block_workers, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(func, items))
 
     # ------------------------------------------------------------------ #

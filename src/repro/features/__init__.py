@@ -18,9 +18,10 @@ from .compressor_features import (
     extract_compressor_features,
     run_length_estimator,
 )
-from .extractor import FeatureExtractor, ExtractionResult
+from .extractor import BlockFeatures, FeatureExtractor, ExtractionResult
 
 __all__ = [
+    "BlockFeatures",
     "FeatureVector",
     "FEATURE_NAMES",
     "ConfigFeatures",
