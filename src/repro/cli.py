@@ -8,7 +8,12 @@ Subcommands mirror the user-facing capabilities of the paper:
 * ``ocelot compress`` — compress a generated field (or a ``.npy`` file)
   and report ratio, timing and quality.
 * ``ocelot transfer`` — run an end-to-end simulated transfer and print
-  the Table VIII-style comparison of direct / compressed / grouped modes.
+  the Table VIII-style comparison of direct / compressed / grouped modes
+  (``--transfer-mode streamed`` overlaps compress → WAN → decode).
+* ``ocelot inspect`` — print a compressed blob's format version and
+  block index (debugging aid for streamed blobs).
+* ``ocelot train-policy`` — train the learned per-block predictor
+  selection policy and write it to a JSON file.
 """
 
 from __future__ import annotations
@@ -46,6 +51,10 @@ def _add_block_arguments(sub: argparse.ArgumentParser) -> None:
                      help="per-block SZ3-style predictor selection "
                           "(Lorenzo vs. interpolation, keep the smaller); "
                           "requires --block-size")
+    sub.add_argument("--block-policy", default=None, metavar="PATH",
+                     help="trained BlockPolicy JSON; replaces brute-force "
+                          "adaptive selection with the learned policy "
+                          "(requires --adaptive-predictor)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,7 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
     transfer.add_argument("--error-bound", type=float, default=1e-3)
     transfer.add_argument("--modes", nargs="+", default=["direct", "compressed", "grouped"])
     _add_block_arguments(transfer)
+    transfer.add_argument("--transfer-mode", default="bulk", choices=["bulk", "streamed"],
+                          help="bulk: compress all, transfer all, decompress all; "
+                               "streamed: pipeline blocks through the WAN as each "
+                               "finishes encoding (compressed mode only)")
+    transfer.add_argument("--stream-window", type=_positive_int, default=8,
+                          help="bounded in-flight window of the streamed pipeline")
     transfer.add_argument("--json", action="store_true")
+
+    inspect = sub.add_parser("inspect", help="print a compressed blob's header and block index")
+    inspect.add_argument("blob", help="path to a serialized CompressedBlob (e.g. a .sz file)")
+    inspect.add_argument("--json", action="store_true")
+
+    train_policy = sub.add_parser(
+        "train-policy", help="train the learned per-block predictor-selection policy"
+    )
+    train_policy.add_argument("--application", default="cesm", choices=application_names())
+    train_policy.add_argument("--compressor", default="sz3", choices=available_compressors())
+    train_policy.add_argument("--error-bound", type=float, default=1e-3)
+    train_policy.add_argument("--scale", type=float, default=0.05)
+    train_policy.add_argument("--block-size", type=_positive_int, default=32)
+    train_policy.add_argument("--output", required=True, help="path for the policy JSON")
+    train_policy.add_argument("--json", action="store_true")
     return parser
 
 
@@ -159,11 +189,17 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         field = generate_field(args.application, spec_field, scale=args.scale)
         data = field.data
         label = f"{args.application}/{spec_field}"
+    policy = None
+    if args.block_policy:
+        from .prediction import BlockPolicy
+
+        policy = BlockPolicy.load(args.block_policy)
     compressor = create_blocked_compressor(
         args.compressor,
         block_shape=args.block_size,
         adaptive_predictor=args.adaptive_predictor,
         block_executor=ParallelExecutor(block_workers=args.block_workers).map_blocks,
+        block_policy=policy,
     )
     bound = ErrorBound(value=args.error_bound, mode=args.mode)
     result = compressor.compress(data, bound, collect_quality=True)
@@ -199,6 +235,9 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         block_workers=args.block_workers,
         adaptive_predictor=args.adaptive_predictor,
+        transfer_mode=args.transfer_mode,
+        stream_window=args.stream_window,
+        block_policy_path=args.block_policy,
     )
     ocelot = Ocelot(config)
     comparison = ocelot.compare_modes(
@@ -220,11 +259,100 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .compression import CompressedBlob
+
+    with open(args.blob, "rb") as handle:
+        data = handle.read()
+    # Lazy parse: only the header is decoded; section payloads stay as
+    # offsets into the file buffer instead of per-section copies.
+    blob = CompressedBlob.from_bytes(data, lazy=True)
+    entries = []
+    for entry in blob.block_index:
+        entries.append(
+            {
+                "id": entry["id"],
+                "origin": entry["origin"],
+                "shape": entry["shape"],
+                "predictor": entry.get("predictor", ""),
+                "section": entry["section"],
+                "section_bytes": blob.container.section_size(entry["section"]),
+            }
+        )
+    payload = {
+        "path": args.blob,
+        "format_version": blob.format_version,
+        "compressor": blob.compressor,
+        "shape": list(blob.shape),
+        "dtype": blob.dtype,
+        "error_bound_abs": blob.error_bound_abs,
+        "serialized_bytes": len(data),
+        "num_blocks": blob.num_blocks,
+        "is_blocked": blob.is_blocked,
+        "blocks": entries,
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"{args.blob}: Ocelot blob v{payload['format_version']}")
+    print(f"  compressor: {payload['compressor']}  dtype: {payload['dtype']}"
+          f"  shape: {tuple(payload['shape'])}")
+    print(f"  error bound (abs): {payload['error_bound_abs']:.3g}"
+          f"  serialized: {format_bytes(payload['serialized_bytes'])}")
+    if not blob.is_blocked:
+        print("  layout: whole-array (single payload section)")
+        return 0
+    print(f"  layout: blocked ({payload['num_blocks']} independent blocks)")
+    print(f"  {'id':>4s} {'origin':>16s} {'shape':>14s} {'predictor':>14s} {'bytes':>10s}")
+    for entry in entries:
+        print(
+            f"  {entry['id']:>4d} {str(tuple(entry['origin'])):>16s}"
+            f" {str(tuple(entry['shape'])):>14s} {entry['predictor']:>14s}"
+            f" {entry['section_bytes']:>10d}"
+        )
+    return 0
+
+
+def _cmd_train_policy(args: argparse.Namespace) -> int:
+    from .prediction import train_block_policy
+
+    dataset = generate_application(args.application, snapshots=1, scale=args.scale)
+    fields = list(dataset.fields)
+    # The relative bound resolves per field, exactly as the orchestrator
+    # resolves it per file at inference time.
+    policy, summary = train_block_policy(
+        [field.data for field in fields],
+        ErrorBound.relative(args.error_bound),
+        compressor=args.compressor,
+        block_shape=args.block_size,
+    )
+    policy.save(args.output)
+    payload = {
+        "output": args.output,
+        "application": args.application,
+        "compressor": args.compressor,
+        "samples": int(summary["samples"]),
+        "agreement": round(summary["agreement"], 3),
+        "training_time_s": round(summary["training_time_s"], 3),
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"trained block policy on {payload['samples']} blocks "
+              f"({payload['agreement']:.0%} agreement with brute force)")
+        print(f"  written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "predict": _cmd_predict,
     "compress": _cmd_compress,
     "transfer": _cmd_transfer,
+    "inspect": _cmd_inspect,
+    "train-policy": _cmd_train_policy,
 }
 
 
@@ -234,6 +362,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "adaptive_predictor", False) and not getattr(args, "block_size", None):
         parser.error("--adaptive-predictor requires --block-size")
+    if getattr(args, "block_policy", None) and not getattr(args, "adaptive_predictor", False):
+        if args.command in ("compress", "transfer"):
+            parser.error("--block-policy requires --adaptive-predictor")
     handler = _COMMANDS[args.command]
     return handler(args)
 

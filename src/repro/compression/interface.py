@@ -43,18 +43,39 @@ class SectionContainer:
 
         MAGIC (4 bytes) | version (u32) | header_len (u32) | header JSON
         | section bytes back to back (sizes recorded in the header)
+
+    Containers can be parsed *lazily* (``from_bytes(data, lazy=True)``):
+    only the header is decoded up front and each section's bytes are
+    sliced out of the source buffer on first access.  That is what gives
+    blocked blobs true random access — decoding ``block:7`` never touches
+    the payload bytes of any other block.
     """
 
     def __init__(self, header: Optional[Dict[str, Any]] = None) -> None:
         self.header: Dict[str, Any] = dict(header or {})
         self._sections: Dict[str, bytes] = {}
+        #: Lazy-parse state: source buffer plus per-section (offset, size).
+        self._lazy_buffer: Optional[bytes] = None
+        self._lazy_offsets: Dict[str, Tuple[int, int]] = {}
+        #: Section order as recorded in the header (lazy parse only).
+        self._lazy_order: List[str] = []
         #: Version the container was parsed from (writes always use the
         #: current :data:`_FORMAT_VERSION`).
         self.source_version: int = _FORMAT_VERSION
 
-    def add_section(self, name: str, payload: bytes) -> None:
-        """Add a named binary section (overwrites an existing one)."""
+    def add_section(self, name: str, payload: bytes, overwrite: bool = False) -> None:
+        """Add a named binary section.
+
+        Duplicate names are rejected unless ``overwrite=True``: a silently
+        shadowed section would corrupt blocked blobs (two ``block:<id>``
+        sections with one set of bytes lost on the wire).
+        """
+        if not overwrite and (name in self._sections or name in self._lazy_offsets):
+            raise EncodingError(f"duplicate section {name!r} in container")
         self._sections[name] = bytes(payload)
+        self._lazy_offsets.pop(name, None)
+        if self._lazy_order and name not in self._lazy_order:
+            self._lazy_order.append(name)
 
     def add_array(self, name: str, array: np.ndarray) -> None:
         """Add a NumPy array section, recording dtype/shape in the header."""
@@ -64,11 +85,23 @@ class SectionContainer:
         self.add_section(name, arr.tobytes())
 
     def get_section(self, name: str) -> bytes:
-        """Return the raw bytes of a named section."""
-        try:
+        """Return the raw bytes of a named section.
+
+        On a lazily parsed container this materialises the section from
+        the source buffer on first access; untouched sections stay as
+        (offset, size) bookkeeping only.
+        """
+        if name in self._sections:
             return self._sections[name]
-        except KeyError as exc:
-            raise EncodingError(f"missing section {name!r} in container") from exc
+        if name in self._lazy_offsets:
+            offset, size = self._lazy_offsets.pop(name)
+            assert self._lazy_buffer is not None
+            payload = bytes(self._lazy_buffer[offset : offset + size])
+            if len(payload) != size:
+                raise EncodingError(f"truncated section {name!r}")
+            self._sections[name] = payload
+            return payload
+        raise EncodingError(f"missing section {name!r} in container")
 
     def get_array(self, name: str) -> np.ndarray:
         """Return a NumPy array section (dtype/shape restored from header)."""
@@ -80,13 +113,40 @@ class SectionContainer:
         return arr.reshape(meta["shape"])
 
     def section_names(self) -> List[str]:
-        """Names of all stored sections, in insertion order."""
+        """Names of all stored sections, in serialisation order."""
+        if self._lazy_order:
+            return list(self._lazy_order)
         return list(self._sections)
+
+    def section_size(self, name: str) -> int:
+        """Size in bytes of a named section, without materialising it."""
+        if name in self._lazy_offsets:
+            return self._lazy_offsets[name][1]
+        try:
+            return len(self._sections[name])
+        except KeyError as exc:
+            raise EncodingError(f"missing section {name!r} in container") from exc
+
+    def loaded_section_names(self) -> List[str]:
+        """Sections whose bytes have actually been materialised.
+
+        On an eagerly parsed container this is every section; on a lazy
+        one, only those touched by :meth:`get_section` so far — the
+        random-access tests use this to prove single-block decodes never
+        read their neighbours.
+        """
+        return list(self._sections)
+
+    @property
+    def is_lazy(self) -> bool:
+        """Whether this container still holds unmaterialised sections."""
+        return bool(self._lazy_offsets)
 
     def _header_bytes(self) -> bytes:
         header = dict(self.header)
         header["_sections"] = [
-            {"name": name, "size": len(payload)} for name, payload in self._sections.items()
+            {"name": name, "size": self.section_size(name)}
+            for name in self.section_names()
         ]
         return json.dumps(header, sort_keys=True).encode("utf-8")
 
@@ -97,23 +157,27 @@ class SectionContainer:
         summed in place, so this is cheap even for multi-GB containers.
         """
         return 12 + len(self._header_bytes()) + sum(
-            len(payload) for payload in self._sections.values()
+            self.section_size(name) for name in self.section_names()
         )
 
     def to_bytes(self) -> bytes:
-        """Serialise the container."""
+        """Serialise the container (materialising any lazy sections)."""
         header_bytes = self._header_bytes()
         parts = [
             _MAGIC,
             struct.pack("<II", _FORMAT_VERSION, len(header_bytes)),
             header_bytes,
         ]
-        parts.extend(self._sections.values())
+        parts.extend(self.get_section(name) for name in self.section_names())
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "SectionContainer":
-        """Parse a container previously produced by :meth:`to_bytes`."""
+    def from_bytes(cls, data: bytes, lazy: bool = False) -> "SectionContainer":
+        """Parse a container previously produced by :meth:`to_bytes`.
+
+        With ``lazy=True`` only the header is decoded; each section is
+        sliced from ``data`` on first :meth:`get_section` access.
+        """
         if len(data) < 12 or data[:4] != _MAGIC:
             raise EncodingError("not a valid Ocelot container (bad magic)")
         version, header_len = struct.unpack("<II", data[4:12])
@@ -126,14 +190,24 @@ class SectionContainer:
         sections = header.pop("_sections", [])
         container = cls(header)
         container.source_version = version
+        seen = set()
         offset = header_end
         for entry in sections:
+            name = entry["name"]
+            if name in seen:
+                raise EncodingError(f"duplicate section {name!r} in container")
+            seen.add(name)
             size = int(entry["size"])
-            payload = data[offset : offset + size]
-            if len(payload) != size:
-                raise EncodingError(f"truncated section {entry['name']!r}")
-            container._sections[entry["name"]] = payload
+            if offset + size > len(data):
+                raise EncodingError(f"truncated section {name!r}")
+            if lazy:
+                container._lazy_offsets[name] = (offset, size)
+                container._lazy_order.append(name)
+            else:
+                container._sections[name] = data[offset : offset + size]
             offset += size
+        if lazy:
+            container._lazy_buffer = data
         return container
 
 
@@ -186,9 +260,14 @@ class CompressedBlob:
         return self.container.to_bytes()
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "CompressedBlob":
-        """Parse a blob previously produced by :meth:`to_bytes`."""
-        container = SectionContainer.from_bytes(data)
+    def from_bytes(cls, data: bytes, lazy: bool = False) -> "CompressedBlob":
+        """Parse a blob previously produced by :meth:`to_bytes`.
+
+        With ``lazy=True`` only the header is decoded; section payloads
+        (one per block for v2 blobs) are sliced from ``data`` on demand,
+        which is what random-access single-block decodes rely on.
+        """
+        container = SectionContainer.from_bytes(data, lazy=lazy)
         header = container.header
         try:
             return cls(
@@ -240,6 +319,117 @@ class CompressedBlob:
         """Number of independently decodable blocks (1 for whole-array blobs)."""
         index = self.container.header.get("block_index")
         return len(index) if index else 1
+
+    def block_entry(self, block_id: int) -> Dict[str, Any]:
+        """The index entry of one block of a v2 blob."""
+        for entry in self.container.header.get("block_index", []):
+            if int(entry["id"]) == int(block_id):
+                return dict(entry)
+        raise EncodingError(f"blob has no block {block_id}")
+
+    # ------------------------------------------------------------------ #
+    # Streaming: per-block wire messages and destination-side assembly
+    # ------------------------------------------------------------------ #
+    def _stream_header(self) -> Dict[str, Any]:
+        """Blob-level header fields a destination needs to rebuild the blob."""
+        self._sync_header()
+        header = {
+            k: v
+            for k, v in self.container.header.items()
+            if k not in ("block_index", "_sections")
+        }
+        return header
+
+    @staticmethod
+    def encode_block_message(
+        blob_header: Dict[str, Any], entry: Dict[str, Any], payload: bytes
+    ) -> bytes:
+        """Build the standalone wire message for one block section.
+
+        Producers that encode blocks one at a time (the streaming
+        pipeline) call this directly — the full blob never exists on the
+        sending side.
+        """
+        message = SectionContainer(
+            header={"stream_block": dict(entry), "blob_header": dict(blob_header)}
+        )
+        message.add_section("payload", payload)
+        return message.to_bytes()
+
+    def export_block(self, block_id: int) -> bytes:
+        """Serialise one ``block:<id>`` section plus its index entry.
+
+        The result is a standalone message carrying everything the
+        destination needs about this block — the blob-level header (so
+        the first message to arrive can seed the assembly), the block's
+        index entry, and its payload bytes.  On a lazily parsed blob only
+        the exported block's section is materialised; the other sections
+        are never touched.
+        """
+        entry = self.block_entry(block_id)
+        payload = self.container.get_section(entry["section"])
+        return self.encode_block_message(self._stream_header(), entry, payload)
+
+    @staticmethod
+    def parse_block(data: bytes) -> Tuple[Dict[str, Any], Dict[str, Any], bytes]:
+        """Parse an :meth:`export_block` message.
+
+        Returns ``(blob_header, block_entry, payload)``.
+        """
+        message = SectionContainer.from_bytes(data)
+        entry = message.header.get("stream_block")
+        blob_header = message.header.get("blob_header")
+        if entry is None or blob_header is None:
+            raise EncodingError("not a streamed block message")
+        return dict(blob_header), dict(entry), message.get_section("payload")
+
+    @classmethod
+    def assemble(
+        cls,
+        blob_header: Dict[str, Any],
+        blocks: List[Tuple[Dict[str, Any], bytes]],
+    ) -> "CompressedBlob":
+        """Rebuild a v2 blob from independently received block sections.
+
+        ``blocks`` holds ``(index_entry, payload)`` pairs in any order
+        (streamed blocks can arrive out of order); the assembled blob
+        orders them by block id and validates that the id range is dense
+        with no duplicates, so a missing or doubled block fails loudly at
+        assembly instead of corrupting the decode.
+        """
+        try:
+            compressor = blob_header["compressor"]
+            shape = tuple(blob_header["shape"])
+            dtype = blob_header["dtype"]
+            error_bound_abs = float(blob_header["error_bound_abs"])
+        except KeyError as exc:
+            raise EncodingError(f"stream blob header missing key {exc}") from exc
+        ordered = sorted(blocks, key=lambda item: int(item[0]["id"]))
+        ids = [int(entry["id"]) for entry, _ in ordered]
+        if ids != list(range(len(ids))):
+            raise EncodingError(
+                f"cannot assemble blob: expected dense block ids, got {ids}"
+            )
+        container = SectionContainer(
+            header={
+                k: v
+                for k, v in blob_header.items()
+                if k not in ("compressor", "shape", "dtype", "error_bound_abs", "metadata")
+            }
+        )
+        block_index: List[Dict[str, Any]] = []
+        for entry, payload in ordered:
+            container.add_section(entry["section"], payload)
+            block_index.append(dict(entry))
+        container.header["block_index"] = block_index
+        return cls(
+            compressor=compressor,
+            shape=shape,
+            dtype=dtype,
+            error_bound_abs=error_bound_abs,
+            container=container,
+            metadata=blob_header.get("metadata", {}),
+        )
 
 
 @dataclass

@@ -14,7 +14,6 @@ run-length estimator) are computed from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -56,6 +56,7 @@ def create_blocked_compressor(
     block_shape: Optional[BlockShapeLike] = None,
     adaptive_predictor: bool = False,
     block_executor: Optional[BlockMapper] = None,
+    block_policy=None,
     **kwargs,
 ) -> Compressor:
     """Instantiate a compressor and wire up blocked-mode execution.
@@ -63,15 +64,20 @@ def create_blocked_compressor(
     Non-pipeline compressors are returned unchanged.  Pipelines always get
     the block executor (decoding a v2 blob fans out per block even when
     this side does not *produce* blocked blobs); ``block_shape`` switches
-    them into producing blocked blobs too.  This is the single place the
-    orchestrator and CLI share for blocked-mode wiring.
+    them into producing blocked blobs too, and ``block_policy`` (a trained
+    :class:`~repro.prediction.block_policy.BlockPolicy`) replaces
+    brute-force adaptive predictor selection with the learned one.  This
+    is the single place the orchestrator and CLI share for blocked-mode
+    wiring.
     """
     compressor = create_compressor(name, **kwargs)
     if isinstance(compressor, PredictionPipelineCompressor):
         compressor.configure_blocks(block_executor=block_executor)
         if block_shape:
             compressor.configure_blocks(
-                block_shape=block_shape, adaptive_predictor=adaptive_predictor
+                block_shape=block_shape,
+                adaptive_predictor=adaptive_predictor,
+                block_policy=block_policy,
             )
     return compressor
 

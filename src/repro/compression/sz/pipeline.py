@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...errors import CompressionError, ConfigurationError
+from ...utils.logging import get_logger
 from ..blocking import BlockPlan, BlockShapeLike, BlockSpec
 from ..encoders.huffman import HuffmanCodec
 from ..encoders.lossless import LosslessBackend, get_lossless_backend
@@ -63,6 +64,7 @@ class PredictionPipelineCompressor(Compressor):
         block_shape: Optional[BlockShapeLike] = None,
         adaptive_predictor: bool = False,
         block_executor: Optional[BlockMapper] = None,
+        block_policy: Optional[Any] = None,
     ) -> None:
         self.predictor = predictor
         self.config = config or PipelineConfig()
@@ -71,6 +73,11 @@ class PredictionPipelineCompressor(Compressor):
         self.block_shape = block_shape
         self.adaptive_predictor = bool(adaptive_predictor)
         self.block_executor = block_executor
+        #: Optional learned per-block predictor-selection policy (a
+        #: :class:`repro.prediction.block_policy.BlockPolicy`); when set,
+        #: adaptive mode consults it instead of brute-forcing every
+        #: candidate predictor per block.
+        self.block_policy = block_policy
         self._huffman = HuffmanCodec()
         self._lossless: LosslessBackend = get_lossless_backend(
             self.config.lossless_backend, **self.config.lossless_options
@@ -81,6 +88,7 @@ class PredictionPipelineCompressor(Compressor):
         block_shape: Optional[BlockShapeLike] = None,
         adaptive_predictor: Optional[bool] = None,
         block_executor: Optional[BlockMapper] = None,
+        block_policy: Optional[Any] = None,
     ) -> "PredictionPipelineCompressor":
         """Switch this pipeline into (or re-tune) blocked mode.
 
@@ -92,6 +100,8 @@ class PredictionPipelineCompressor(Compressor):
             self.adaptive_predictor = bool(adaptive_predictor)
         if block_executor is not None:
             self.block_executor = block_executor
+        if block_policy is not None:
+            self.block_policy = block_policy
         return self
 
     # ------------------------------------------------------------------ #
@@ -186,11 +196,59 @@ class PredictionPipelineCompressor(Compressor):
             names.add(InterpolationPredictor.name)
         return candidates
 
-    def _compress_blocked(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
-        plan = BlockPlan.partition(arr.shape, self.block_shape)
+    def _policy_predictor(self, block: np.ndarray, error_bound_abs: float) -> Optional[Predictor]:
+        """Predictor chosen by the learned block policy, if one applies.
 
-        def encode_block(spec):
-            block = plan.extract(arr, spec)
+        Falls back to ``None`` (brute-force selection) when no policy is
+        configured, the block carries non-finite values (only Lorenzo's
+        literal escape handles those), or the policy picks a predictor the
+        factory cannot rebuild.  A policy that *fails* (bad model file,
+        feature mismatch) also falls back, but is warned about once and
+        not retried — silently brute-forcing every block would hide that
+        the learned path is inactive.
+        """
+        if self.block_policy is None or not self.adaptive_predictor:
+            return None
+        if not np.isfinite(block).all():
+            return None
+        try:
+            name = self.block_policy.choose_for_block(
+                block, error_bound_abs, compressor=self.name
+            )
+        except Exception as exc:
+            get_logger(__name__).warning(
+                "block policy failed (%s: %s); falling back to brute-force "
+                "predictor selection for this pipeline",
+                type(exc).__name__,
+                exc,
+            )
+            self.block_policy = None
+            return None
+        if name == self.predictor.name:
+            return self.predictor
+        try:
+            return create_predictor(name, {})
+        except CompressionError:
+            return None
+
+    def encode_one_block(
+        self, arr: np.ndarray, plan: BlockPlan, spec: BlockSpec, error_bound_abs: float
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """Encode a single block; returns its ``(index_entry, payload)``.
+
+        This is the unit of work both the bulk blocked path and the
+        streaming pipeline fan out: predictor selection (learned policy
+        first, brute force otherwise), encoding, serialisation and the
+        lossless stage for one independent block.
+        """
+        block = plan.extract(arr, spec)
+        chosen = self._policy_predictor(block, error_bound_abs)
+        if chosen is not None:
+            best_name = chosen.name
+            best_payload = self._lossless.compress(
+                self._serialize_encoding(chosen.encode_block(block, error_bound_abs))
+            )
+        else:
             best_name = None
             best_payload = None
             for predictor in self._candidate_predictors(block):
@@ -199,38 +257,60 @@ class PredictionPipelineCompressor(Compressor):
                 if best_payload is None or len(payload) < len(best_payload):
                     best_payload = payload
                     best_name = predictor.name
-            return spec, best_name, best_payload
+        entry = spec.as_dict()
+        entry["predictor"] = best_name
+        entry["section"] = f"block:{spec.block_id}"
+        return entry, best_payload
 
-        results = self._map_blocks(encode_block, plan.blocks)
-        outer = SectionContainer(
-            header={
+    def measure_block_encoding(
+        self, block: np.ndarray, error_bound_abs: float, predictor: Predictor
+    ) -> int:
+        """Serialised size one candidate predictor achieves on one block.
+
+        Used to label training samples for the learned block policy
+        without duplicating the pipeline's serialisation format.
+        """
+        encoding = predictor.encode_block(np.ascontiguousarray(block), error_bound_abs)
+        return len(self._lossless.compress(self._serialize_encoding(encoding)))
+
+    def block_plan(self, arr: np.ndarray) -> BlockPlan:
+        """The block partition this pipeline applies to ``arr``."""
+        if self.block_shape is None:
+            raise CompressionError("pipeline is not in blocked mode")
+        return BlockPlan.partition(np.asarray(arr).shape, self.block_shape)
+
+    def blocked_header(
+        self, arr: np.ndarray, plan: BlockPlan, error_bound_abs: float
+    ) -> Dict[str, Any]:
+        """Blob-level header for a v2 blob of ``arr`` (sans block index).
+
+        The streaming pipeline ships this once so the destination can
+        assemble the received block sections into a valid blob.
+        """
+        return {
+            "compressor": self.name,
+            "shape": list(np.asarray(arr).shape),
+            "dtype": str(np.asarray(arr).dtype),
+            "error_bound_abs": float(error_bound_abs),
+            "predictor": self.predictor.name,
+            "entropy_stage": self.config.entropy_stage,
+            "lossless_backend": self._lossless.name,
+            "block_shape": list(plan.block_shape),
+            "metadata": {
                 "predictor": self.predictor.name,
-                "entropy_stage": self.config.entropy_stage,
-                "lossless_backend": self._lossless.name,
-                "block_shape": list(plan.block_shape),
-            }
-        )
-        block_index: List[Dict[str, Any]] = []
-        for spec, predictor_name, payload in results:
-            section = f"block:{spec.block_id}"
-            outer.add_section(section, payload)
-            entry = spec.as_dict()
-            entry["predictor"] = predictor_name
-            entry["section"] = section
-            block_index.append(entry)
-        outer.header["block_index"] = block_index
-        return CompressedBlob(
-            compressor=self.name,
-            shape=arr.shape,
-            dtype=str(arr.dtype),
-            error_bound_abs=error_bound_abs,
-            container=outer,
-            metadata={
-                "predictor": self.predictor.name,
-                "num_blocks": len(block_index),
+                "num_blocks": plan.num_blocks,
                 "adaptive_predictor": self.adaptive_predictor,
             },
+        }
+
+    def _compress_blocked(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
+        plan = BlockPlan.partition(arr.shape, self.block_shape)
+        results = self._map_blocks(
+            lambda spec: self.encode_one_block(arr, plan, spec, error_bound_abs),
+            plan.blocks,
         )
+        header = self.blocked_header(arr, plan, error_bound_abs)
+        return CompressedBlob.assemble(header, list(results))
 
     def _predictor_for(self, name: str, meta: Dict[str, Any]) -> Predictor:
         # Rebuild the predictor from the block's recorded meta rather than
@@ -246,19 +326,40 @@ class PredictionPipelineCompressor(Compressor):
                 return self.predictor
             raise
 
+    def _decode_block_entry(
+        self, blob: CompressedBlob, entry: Dict[str, Any], backend: LosslessBackend
+    ) -> Tuple[BlockSpec, np.ndarray]:
+        """Decode one block section of ``blob`` into its reconstruction."""
+        inner_bytes = backend.decompress(blob.container.get_section(entry["section"]))
+        inner = SectionContainer.from_bytes(inner_bytes)
+        codes, mask, literals, aux, meta = self._deserialize_encoding(inner)
+        predictor = self._predictor_for(entry["predictor"], meta)
+        spec = BlockSpec.from_dict(entry)
+        recon = predictor.decode_block(
+            codes, mask, literals, aux, meta, spec.shape, blob.error_bound_abs
+        )
+        return spec, recon
+
+    def decompress_block(self, blob: CompressedBlob, block_id: int) -> np.ndarray:
+        """Random-access decode of a single block of a v2 blob.
+
+        Only the requested ``block:<id>`` section is read — on a lazily
+        parsed blob the other block payloads are never materialised, so
+        the cost is proportional to one block regardless of blob size.
+        """
+        if not blob.is_blocked:
+            raise CompressionError("random-access decode requires a blocked (v2) blob")
+        entry = blob.block_entry(block_id)
+        backend = self._backend_for(blob)
+        _, recon = self._decode_block_entry(blob, entry, backend)
+        return recon.astype(np.dtype(blob.dtype), copy=False)
+
     def _decompress_blocked(self, blob: CompressedBlob) -> np.ndarray:
         backend = self._backend_for(blob)
         out = np.empty(blob.shape, dtype=np.float64)
 
         def decode_block(entry):
-            inner_bytes = backend.decompress(blob.container.get_section(entry["section"]))
-            inner = SectionContainer.from_bytes(inner_bytes)
-            codes, mask, literals, aux, meta = self._deserialize_encoding(inner)
-            predictor = self._predictor_for(entry["predictor"], meta)
-            spec = BlockSpec.from_dict(entry)
-            recon = predictor.decode_block(
-                codes, mask, literals, aux, meta, spec.shape, blob.error_bound_abs
-            )
+            spec, recon = self._decode_block_entry(blob, entry, backend)
             # Each block writes a disjoint region of the output, so the
             # per-block tasks can run concurrently without locking.
             out[spec.slices()] = recon

@@ -10,6 +10,7 @@ from .parallel import MakespanEstimate, ParallelCostModel, ParallelExecutor
 from .planner import CompressionPlan, CompressionPlanner
 from .reporting import ModeComparison, PhaseTimings, TransferReport
 from .sentinel import Sentinel, SentinelDecision
+from .streaming import StreamedFileResult, StreamingOutcome, StreamingPipeline
 
 __all__ = [
     "Ocelot",
@@ -27,6 +28,9 @@ __all__ = [
     "GroupingPlan",
     "Sentinel",
     "SentinelDecision",
+    "StreamingPipeline",
+    "StreamingOutcome",
+    "StreamedFileResult",
     "PhaseTimings",
     "TransferReport",
     "ModeComparison",

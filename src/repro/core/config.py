@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..compression.errorbound import ErrorBound, ErrorBoundMode
@@ -16,6 +16,12 @@ __all__ = ["OcelotConfig", "TransferMode"]
 #:  * ``grouped``     — OP: parallel compression + file grouping.
 TransferMode = str
 VALID_MODES: Tuple[str, ...] = ("direct", "compressed", "grouped")
+
+#: How compressed data moves over the WAN.
+#:  * ``bulk``     — phase-serialised: compress all, transfer all, decode all.
+#:  * ``streamed`` — pipeline blocks through a transfer stream as each
+#:    finishes encoding, with random-access decode at the destination.
+VALID_TRANSFER_MODES: Tuple[str, ...] = ("bulk", "streamed")
 
 
 @dataclass
@@ -50,6 +56,17 @@ class OcelotConfig:
             one file concurrently.
         adaptive_predictor: per-block SZ3-style predictor selection (try
             Lorenzo vs. interpolation per block, keep the smaller).
+        transfer_mode: ``bulk`` keeps the phase-serialised baseline;
+            ``streamed`` ships each block as it finishes encoding and
+            decodes blocks as they arrive (compressed mode only).
+        stream_window: bounded in-flight window of the streamed pipeline —
+            the maximum number of blocks encoded but not yet fully
+            received before the producers stall.
+        block_policy_path: path to a trained
+            :class:`~repro.prediction.block_policy.BlockPolicy`; when set
+            (with ``adaptive_predictor``), per-block predictor selection
+            uses the learned policy instead of brute-forcing every
+            candidate.
     """
 
     error_bound: float = 1e-3
@@ -71,6 +88,9 @@ class OcelotConfig:
     block_size: Optional[int] = None
     block_workers: int = 1
     adaptive_predictor: bool = False
+    transfer_mode: str = "bulk"
+    stream_window: int = 8
+    block_policy_path: Optional[str] = None
     size_scale: float = 1.0
     work_time_scale: Optional[float] = None
     assumed_compression_throughput_mbps: Optional[float] = None
@@ -100,6 +120,18 @@ class OcelotConfig:
             raise ConfigurationError(
                 "adaptive_predictor requires block_size (per-block selection "
                 "only applies in blocked mode)"
+            )
+        if self.transfer_mode not in VALID_TRANSFER_MODES:
+            raise ConfigurationError(
+                f"transfer_mode must be one of {VALID_TRANSFER_MODES}, "
+                f"got {self.transfer_mode!r}"
+            )
+        if self.stream_window < 1:
+            raise ConfigurationError("stream_window must be >= 1")
+        if self.block_policy_path is not None and not self.adaptive_predictor:
+            raise ConfigurationError(
+                "block_policy_path requires adaptive_predictor (the policy "
+                "replaces brute-force per-block predictor selection)"
             )
         if self.size_scale <= 0:
             raise ConfigurationError("size_scale must be positive")

@@ -13,7 +13,7 @@ bundles the three capabilities described in Section V of the paper:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ of dimensions and relative field characteristics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..errors import DatasetError

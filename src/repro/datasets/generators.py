@@ -9,7 +9,7 @@ the applications differ in compressibility the way the real ones do.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

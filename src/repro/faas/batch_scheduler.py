@@ -9,7 +9,7 @@ configurable distribution so experiments can sweep the waiting regime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import SchedulingError

@@ -15,7 +15,14 @@ from .filesystem import SimulatedFileSystem, FileEntry
 from .endpoint import GlobusEndpoint
 from .network import WANLink, NetworkTopology
 from .gridftp import GridFTPSettings, GridFTPEngine, TransferEstimate
-from .service import TransferService, TransferRequest, TransferTask, TransferStatus
+from .service import (
+    StreamChunk,
+    TransferRequest,
+    TransferService,
+    TransferStatus,
+    TransferStream,
+    TransferTask,
+)
 from .testbed import Testbed, build_testbed
 
 __all__ = [
@@ -31,6 +38,8 @@ __all__ = [
     "TransferRequest",
     "TransferTask",
     "TransferStatus",
+    "TransferStream",
+    "StreamChunk",
     "Testbed",
     "build_testbed",
 ]

@@ -70,6 +70,38 @@ class GridFTPEngine:
         self.settings = settings or GridFTPSettings()
         self._rng = rng_from_seed(seed)
 
+    def channel_bandwidth_bps(
+        self,
+        link: WANLink,
+        active_channels: int,
+        storage_read_bps: Optional[float] = None,
+        storage_write_bps: Optional[float] = None,
+    ) -> float:
+        """Bandwidth one file channel achieves with ``active_channels`` busy.
+
+        The per-channel ceiling comes from TCP stream parallelism; the
+        aggregate of all channels never exceeds the link or the endpoints'
+        storage bandwidth, so each channel gets a fair share of that cap.
+        """
+        channels = max(1, active_channels)
+        per_channel_cap = link.stream_bandwidth(self.settings.parallelism)
+        aggregate_cap = link.bandwidth_bps
+        if storage_read_bps:
+            aggregate_cap = min(aggregate_cap, storage_read_bps)
+        if storage_write_bps:
+            aggregate_cap = min(aggregate_cap, storage_write_bps)
+        return min(per_channel_cap, aggregate_cap / channels)
+
+    def per_chunk_overhead_s(self, link: WANLink) -> float:
+        """Handling overhead each file (or streamed chunk) pays on ``link``.
+
+        Command pipelining amortises the per-item handling cost exactly as
+        it does for whole files, so streamed chunks are modelled with the
+        same formula.
+        """
+        overhead = link.per_file_overhead_s / min(self.settings.pipelining, 8)
+        return overhead + link.rtt_s / max(self.settings.pipelining, 1)
+
     def estimate(
         self,
         file_sizes: Sequence[int],
@@ -90,19 +122,13 @@ class GridFTPEngine:
             )
         settings = self.settings
         channels = max(1, min(settings.concurrency, len(sizes)))
-        # Effective per-channel ceiling from stream parallelism, and a fair
-        # share of the link/storage when all channels are busy.
-        per_channel_cap = link.stream_bandwidth(settings.parallelism)
-        aggregate_cap = link.bandwidth_bps
-        if storage_read_bps:
-            aggregate_cap = min(aggregate_cap, storage_read_bps)
-        if storage_write_bps:
-            aggregate_cap = min(aggregate_cap, storage_write_bps)
-        fair_share = aggregate_cap / channels
-        channel_bandwidth = min(per_channel_cap, fair_share)
-        # Pipelining amortises the handling overhead across queued commands.
-        per_file_overhead = link.per_file_overhead_s / min(settings.pipelining, 8)
-        per_file_overhead += link.rtt_s / max(settings.pipelining, 1)
+        channel_bandwidth = self.channel_bandwidth_bps(
+            link,
+            channels,
+            storage_read_bps=storage_read_bps,
+            storage_write_bps=storage_write_bps,
+        )
+        per_file_overhead = self.per_chunk_overhead_s(link)
 
         # Longest-processing-time greedy assignment of files to channels.
         file_times = [size / channel_bandwidth + per_file_overhead for size in sizes]

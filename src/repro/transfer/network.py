@@ -11,7 +11,7 @@ pipelining), and ``rtt_s`` for control-channel latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError, TransferError

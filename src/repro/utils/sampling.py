@@ -7,7 +7,6 @@ overhead at ~1.7 % of the compression time.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

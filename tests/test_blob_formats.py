@@ -1,0 +1,188 @@
+"""Blob-format tests: v1/v2 cross-version round trips and random access.
+
+Covers the on-the-wire guarantees the streaming refactor leans on:
+
+* every registry pipeline round-trips both whole-array (v1-style) and
+  blocked (v2) blobs, including blobs whose version field is rewritten
+  to 1 (legacy readers);
+* a single block decodes via random access to exactly the same values as
+  the corresponding region of a full decode — and a lazily parsed blob
+  proves no other block section was ever materialised;
+* per-block export/parse/assemble rebuilds a byte-identical decode at
+  the destination from independently received sections;
+* duplicate section names are rejected instead of silently shadowed.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BlockPlan,
+    CompressedBlob,
+    ErrorBound,
+    SectionContainer,
+    create_compressor,
+)
+from repro.errors import CompressionError, EncodingError
+
+PIPELINES = ["sz2", "sz3", "sz3-linear", "sz-lorenzo", "zfp-like"]
+BOUND = 1e-3
+
+
+def _field(shape=(40, 36)) -> np.ndarray:
+    x = np.linspace(0, 4 * np.pi, shape[0])
+    y = np.linspace(0, 3 * np.pi, shape[1])
+    base = np.sin(x)[:, None] * np.cos(y)[None, :]
+    noise = np.random.default_rng(11).normal(0, 0.01, shape)
+    return (base + noise).astype(np.float32)
+
+
+def _as_version(data: bytes, version: int) -> bytes:
+    """Rewrite the container's version field (legacy-reader simulation)."""
+    assert data[:4] == b"OCLT"
+    return data[:4] + struct.pack("<I", version) + data[8:]
+
+
+class TestCrossVersionRoundTrips:
+    @pytest.mark.parametrize("name", PIPELINES)
+    def test_whole_array_blob_reads_as_v1_and_v2(self, name):
+        data = _field()
+        result = create_compressor(name).compress(data, ErrorBound(value=BOUND, mode="abs"))
+        payload = result.blob.to_bytes()
+        for version in (1, 2):
+            blob = CompressedBlob.from_bytes(_as_version(payload, version))
+            assert blob.format_version == version
+            assert not blob.is_blocked
+            recon = create_compressor(name).decompress(blob)
+            assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= BOUND * 1.01
+
+    @pytest.mark.parametrize("name", PIPELINES)
+    def test_blocked_blob_round_trip(self, name):
+        data = _field()
+        compressor = create_compressor(name).configure_blocks(block_shape=16)
+        result = compressor.compress(data, ErrorBound(value=BOUND, mode="abs"))
+        blob = CompressedBlob.from_bytes(result.blob.to_bytes())
+        assert blob.is_blocked
+        assert blob.format_version == 2
+        assert blob.num_blocks == BlockPlan.partition(data.shape, 16).num_blocks
+        recon = create_compressor(name).decompress(blob)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= BOUND * 1.01
+
+    def test_unsupported_version_rejected(self):
+        data = _field((8, 8))
+        payload = create_compressor("sz3-fast").compress(
+            data, ErrorBound(value=BOUND, mode="abs")
+        ).blob.to_bytes()
+        with pytest.raises(EncodingError):
+            CompressedBlob.from_bytes(_as_version(payload, 9))
+
+
+class TestRandomAccess:
+    @pytest.mark.parametrize("name", PIPELINES)
+    def test_single_block_decode_equals_full_decode(self, name):
+        data = _field()
+        compressor = create_compressor(name).configure_blocks(block_shape=16)
+        payload = compressor.compress(data, ErrorBound(value=BOUND, mode="abs")).blob.to_bytes()
+        full_blob = CompressedBlob.from_bytes(payload)
+        full = create_compressor(name).decompress(full_blob)
+        plan = BlockPlan.partition(data.shape, 16)
+        decoder = create_compressor(name)
+        for spec in plan:
+            blob = CompressedBlob.from_bytes(payload, lazy=True)
+            block = decoder.decompress_block(blob, spec.block_id)
+            np.testing.assert_array_equal(block, full[spec.slices()])
+
+    def test_random_access_never_touches_other_sections(self):
+        data = _field()
+        compressor = create_compressor("sz3-fast").configure_blocks(block_shape=16)
+        payload = compressor.compress(data, ErrorBound(value=BOUND, mode="abs")).blob.to_bytes()
+        blob = CompressedBlob.from_bytes(payload, lazy=True)
+        assert blob.container.is_lazy
+        assert blob.container.loaded_section_names() == []
+        target = blob.num_blocks - 1
+        create_compressor("sz3-fast").decompress_block(blob, target)
+        # Decoding the last block materialised exactly one section.
+        assert blob.container.loaded_section_names() == [f"block:{target}"]
+
+    def test_random_access_requires_blocked_blob(self):
+        data = _field((12, 12))
+        blob = create_compressor("sz3-fast").compress(
+            data, ErrorBound(value=BOUND, mode="abs")
+        ).blob
+        with pytest.raises(CompressionError):
+            create_compressor("sz3-fast").decompress_block(blob, 0)
+        with pytest.raises(EncodingError):
+            blob.block_entry(0)
+
+    def test_lazy_parse_preserves_bytes(self):
+        data = _field()
+        compressor = create_compressor("sz3-fast").configure_blocks(block_shape=16)
+        payload = compressor.compress(data, ErrorBound(value=BOUND, mode="abs")).blob.to_bytes()
+        lazy = CompressedBlob.from_bytes(payload, lazy=True)
+        assert lazy.to_bytes() == CompressedBlob.from_bytes(payload).to_bytes()
+
+
+class TestStreamedBlockMessages:
+    def test_export_parse_assemble_round_trip(self):
+        data = _field()
+        compressor = create_compressor("sz3-fast").configure_blocks(block_shape=16)
+        source_blob = compressor.compress(data, ErrorBound(value=BOUND, mode="abs")).blob
+        messages = [source_blob.export_block(i) for i in range(source_blob.num_blocks)]
+        # Blocks arrive out of order at the destination.
+        header = None
+        received = []
+        for message in reversed(messages):
+            blob_header, entry, payload = CompressedBlob.parse_block(message)
+            header = header or blob_header
+            received.append((entry, payload))
+        assembled = CompressedBlob.assemble(header, received)
+        assert assembled.to_bytes() == source_blob.to_bytes()
+        recon = create_compressor("sz3-fast").decompress(assembled)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= BOUND * 1.01
+
+    def test_export_is_lazy(self):
+        data = _field()
+        compressor = create_compressor("sz3-fast").configure_blocks(block_shape=16)
+        payload = compressor.compress(data, ErrorBound(value=BOUND, mode="abs")).blob.to_bytes()
+        blob = CompressedBlob.from_bytes(payload, lazy=True)
+        blob.export_block(2)
+        assert blob.container.loaded_section_names() == ["block:2"]
+
+    def test_assemble_rejects_missing_block(self):
+        data = _field()
+        compressor = create_compressor("sz3-fast").configure_blocks(block_shape=16)
+        blob = compressor.compress(data, ErrorBound(value=BOUND, mode="abs")).blob
+        header, entry, payload = CompressedBlob.parse_block(blob.export_block(0))
+        with pytest.raises(EncodingError):
+            CompressedBlob.assemble(header, [(entry, payload), (entry, payload)])
+        bad_header, bad_entry, bad_payload = CompressedBlob.parse_block(blob.export_block(2))
+        with pytest.raises(EncodingError):
+            CompressedBlob.assemble(header, [(entry, payload), (bad_entry, bad_payload)])
+
+    def test_parse_rejects_non_stream_message(self):
+        with pytest.raises(EncodingError):
+            CompressedBlob.parse_block(SectionContainer({"x": 1}).to_bytes())
+
+
+class TestDuplicateSections:
+    def test_add_section_rejects_duplicates(self):
+        container = SectionContainer()
+        container.add_section("a", b"one")
+        with pytest.raises(EncodingError):
+            container.add_section("a", b"two")
+        container.add_section("a", b"two", overwrite=True)
+        assert container.get_section("a") == b"two"
+
+    def test_from_bytes_rejects_duplicate_names(self):
+        # Craft a container whose header lists the same section name twice.
+        import json
+
+        header = {"k": 1, "_sections": [{"name": "a", "size": 3}, {"name": "a", "size": 0}]}
+        header_bytes = json.dumps(header, sort_keys=True).encode()
+        crafted = b"OCLT" + struct.pack("<II", 2, len(header_bytes)) + header_bytes + b"one"
+        with pytest.raises(EncodingError):
+            SectionContainer.from_bytes(crafted)

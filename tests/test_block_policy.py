@@ -1,0 +1,139 @@
+"""Tests for the learned per-block predictor-selection policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressedBlob, ErrorBound, create_blocked_compressor
+from repro.errors import ModelNotFittedError
+from repro.features import FeatureExtractor
+from repro.prediction import (
+    BlockPolicy,
+    BlockPolicySample,
+    build_block_policy_samples,
+    train_block_policy,
+)
+
+BOUND = 1e-3
+
+
+@pytest.fixture(scope="module")
+def mixed_arrays():
+    """Smooth (interpolation-friendly) and rough (Lorenzo-leaning) fields."""
+    rng = np.random.default_rng(21)
+    x = np.linspace(0, 4 * np.pi, 96)
+    smooth = (np.sin(x)[:, None] * np.cos(x)[None, :]).astype(np.float32)
+    rough = rng.normal(0, 50.0, (96, 96)).astype(np.float32)
+    return [smooth, rough]
+
+
+@pytest.fixture(scope="module")
+def fitted_policy(mixed_arrays):
+    policy, summary = train_block_policy(
+        mixed_arrays, BOUND, compressor="sz3-fast", block_shape=32
+    )
+    assert summary["samples"] >= 8
+    return policy
+
+
+class TestBlockPolicy:
+    def test_samples_carry_all_candidate_sizes(self, mixed_arrays):
+        samples = build_block_policy_samples(
+            mixed_arrays[:1], BOUND, compressor="sz3-fast", block_shape=32
+        )
+        assert samples
+        for sample in samples:
+            assert set(sample.sizes) == {"lorenzo", "interpolation"}
+            assert all(size > 0 for size in sample.sizes.values())
+            assert sample.best_predictor in sample.sizes
+
+    def test_training_agreement_is_high(self, mixed_arrays):
+        _, summary = train_block_policy(
+            mixed_arrays, BOUND, compressor="sz3-fast", block_shape=32
+        )
+        # The policy distils the brute-force search it replaces; on its own
+        # training blocks it should recover the winner most of the time.
+        assert summary["agreement"] >= 0.7
+
+    def test_choose_returns_a_candidate(self, fitted_policy, mixed_arrays):
+        name = fitted_policy.choose_for_block(
+            mixed_arrays[0][:32, :32], BOUND, compressor="sz3-fast"
+        )
+        assert name in fitted_policy.candidates
+
+    def test_predicted_sizes_positive(self, fitted_policy):
+        extractor = FeatureExtractor(sample_fraction=1.0)
+        features = extractor.extract_features(
+            np.linspace(0, 1, 1024).astype(np.float32), BOUND, compressor="sz3-fast"
+        )
+        sizes = fitted_policy.predicted_sizes(features)
+        assert set(sizes) == set(fitted_policy.candidates)
+        assert all(size >= 0 for size in sizes.values())
+
+    def test_unfitted_policy_raises(self):
+        policy = BlockPolicy()
+        with pytest.raises(ModelNotFittedError):
+            policy.choose_for_block(np.zeros((8, 8), dtype=np.float32), BOUND)
+        with pytest.raises(ModelNotFittedError):
+            policy.save("/tmp/never-written.json")
+
+    def test_fit_rejects_incomplete_samples(self):
+        extractor = FeatureExtractor(sample_fraction=1.0)
+        features = extractor.extract_features(
+            np.linspace(0, 1, 256).astype(np.float32), BOUND
+        )
+        with pytest.raises(ValueError):
+            BlockPolicy().fit([BlockPolicySample(features, {"lorenzo": 10})])
+
+    def test_save_load_round_trip(self, fitted_policy, tmp_path, mixed_arrays):
+        path = tmp_path / "policy.json"
+        fitted_policy.save(path)
+        loaded = BlockPolicy.load(path)
+        assert loaded.candidates == fitted_policy.candidates
+        block = mixed_arrays[0][:32, :32]
+        assert loaded.choose_for_block(block, BOUND) == fitted_policy.choose_for_block(
+            block, BOUND
+        )
+
+
+class TestPolicyInPipeline:
+    def test_policy_drives_blocked_compression(self, fitted_policy, mixed_arrays):
+        compressor = create_blocked_compressor(
+            "sz3-fast",
+            block_shape=32,
+            adaptive_predictor=True,
+            block_policy=fitted_policy,
+        )
+        data = np.concatenate(mixed_arrays, axis=0)
+        result = compressor.compress(data, ErrorBound(value=BOUND, mode="abs"), verify=True)
+        blob = CompressedBlob.from_bytes(result.blob.to_bytes())
+        used = {entry["predictor"] for entry in blob.block_index}
+        assert used <= set(fitted_policy.candidates) | {"sz3", "interpolation", "lorenzo"}
+        recon = create_blocked_compressor("sz3-fast").decompress(blob)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= BOUND * 1.01
+
+    def test_policy_close_to_brute_force_size(self, fitted_policy, mixed_arrays):
+        data = np.concatenate(mixed_arrays, axis=0)
+        bound = ErrorBound(value=BOUND, mode="abs")
+        brute = create_blocked_compressor(
+            "sz3-fast", block_shape=32, adaptive_predictor=True
+        ).compress(data, bound)
+        learned = create_blocked_compressor(
+            "sz3-fast", block_shape=32, adaptive_predictor=True, block_policy=fitted_policy
+        ).compress(data, bound)
+        # Brute force is optimal by construction; the learned policy must
+        # stay within a modest margin of it while encoding each block once.
+        assert learned.stats.compressed_bytes <= brute.stats.compressed_bytes * 1.15
+
+    def test_nonfinite_blocks_bypass_policy(self, fitted_policy):
+        data = np.linspace(0, 1, 64 * 64).reshape(64, 64).astype(np.float32)
+        data[40, 40] = np.nan
+        compressor = create_blocked_compressor(
+            "sz3-fast", block_shape=32, adaptive_predictor=True, block_policy=fitted_policy
+        )
+        blob = compressor.compress_array(data, BOUND)
+        nan_entries = [e for e in blob.block_index if e["origin"] == [32, 32]]
+        assert nan_entries and nan_entries[0]["predictor"] == "lorenzo"
+        recon = create_blocked_compressor("sz3-fast").decompress(blob)
+        assert np.isnan(recon[40, 40])

@@ -17,9 +17,16 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("info", "predict", "compress", "transfer"):
-            args = parser.parse_args([command])
-            assert args.command == command
+        for command in (["info"], ["predict"], ["compress"], ["transfer"],
+                        ["inspect", "x.sz"], ["train-policy", "--output", "p.json"]):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_block_policy_requires_adaptive(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["compress", "--block-size", "16", "--block-policy", "p.json"])
 
     def test_compress_arguments(self):
         args = build_parser().parse_args(
@@ -80,3 +87,62 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {"direct", "grouped"}
         assert payload["grouped"]["compression_ratio"] > 1.0
+
+    def test_transfer_streamed_mode(self, capsys):
+        code = main([
+            "transfer", "--application", "miranda", "--snapshots", "1", "--scale", "0.03",
+            "--modes", "compressed", "--block-size", "16",
+            "--transfer-mode", "streamed", "--stream-window", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["compressed"]
+        assert report["transfer_mode"] == "streamed"
+        assert report["timings"]["streaming_s"] > 0
+        assert report["timings"]["streaming_s"] == pytest.approx(report["total_s"])
+
+    def test_inspect_blocked_blob(self, tmp_path, capsys):
+        from repro.compression import ErrorBound, create_compressor
+
+        data = np.add.outer(
+            np.sin(np.linspace(0, 3, 48)), np.cos(np.linspace(0, 2, 40))
+        ).astype(np.float32)
+        compressor = create_compressor("sz3-fast").configure_blocks(block_shape=24)
+        result = compressor.compress(data, ErrorBound(value=1e-3, mode="abs"))
+        path = tmp_path / "field.sz"
+        path.write_bytes(result.blob.to_bytes())
+        code = main(["inspect", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 2
+        assert payload["is_blocked"] is True
+        assert len(payload["blocks"]) == payload["num_blocks"] == result.blob.num_blocks
+        first = payload["blocks"][0]
+        assert set(first) == {"id", "origin", "shape", "predictor", "section", "section_bytes"}
+        assert first["section_bytes"] > 0
+
+    def test_inspect_whole_array_blob(self, tmp_path, capsys):
+        from repro.compression import ErrorBound, create_compressor
+
+        data = np.linspace(0, 1, 512).astype(np.float32)
+        result = create_compressor("sz3-fast").compress(data, ErrorBound.relative(1e-3))
+        path = tmp_path / "whole.sz"
+        path.write_bytes(result.blob.to_bytes())
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "whole-array" in out
+
+    def test_train_policy_writes_model(self, tmp_path, capsys):
+        from repro.prediction import BlockPolicy
+
+        out_path = tmp_path / "policy.json"
+        code = main([
+            "train-policy", "--application", "miranda", "--scale", "0.04",
+            "--compressor", "sz3-fast", "--block-size", "24",
+            "--output", str(out_path), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] > 0
+        policy = BlockPolicy.load(out_path)
+        assert policy.is_fitted

@@ -6,7 +6,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compression import ErrorBound
 from repro.core import (
     CompressionPlanner,
     FileGrouper,

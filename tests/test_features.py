@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compression import ErrorBound
 from repro.errors import FeatureExtractionError
 from repro.features import (
     FEATURE_NAMES,

@@ -10,7 +10,6 @@ from repro.ml import root_mean_squared_error
 from repro.prediction import (
     C1BaselineEstimator,
     QualityPredictor,
-    build_training_records,
     ratio_quality_estimate,
     records_to_matrix,
     train_test_split_records,

@@ -12,7 +12,6 @@ These cover the invariants the rest of the system is built on:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays, array_shapes

@@ -1,0 +1,208 @@
+"""Streaming block transfer tests: stream API, pipeline, orchestrator knob.
+
+The invariants that make streamed mode worth having:
+
+* the transfer service's stream API models per-chunk compute/network
+  overlap (chunks wait for channels, channels idle for the producer) and
+  multi-chunk tasks report real byte counts and speeds;
+* the streaming pipeline's simulated makespan beats the serialised
+  compress + transfer + decompress sum while reconstructing bit-for-bit
+  the same data as the bulk path;
+* the ``transfer_mode`` knob selects streamed vs bulk per run and the
+  bulk baseline stays untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Ocelot, OcelotConfig
+from repro.datasets import generate_application
+from repro.errors import ConfigurationError, TransferError
+from repro.transfer import TransferStatus
+
+
+def _streamed_config(**overrides):
+    base = dict(
+        mode="compressed",
+        compressor="sz3-fast",
+        block_size=16,
+        size_scale=3000.0,
+        compression_nodes=2,
+        decompression_nodes=2,
+        cores_per_node=4,
+        assumed_compression_throughput_mbps=300.0,
+        assumed_decompression_throughput_mbps=600.0,
+    )
+    base.update(overrides)
+    return OcelotConfig(**base)
+
+
+class TestTransferStream:
+    def test_chunks_move_files_and_advance_clock(self, testbed):
+        stream = testbed.service.open_stream("anvil", "cori", label="s")
+        stream.send_chunk("/s/a.part", payload=b"x" * 500_000, available_at=0.0)
+        chunk = stream.send_chunk("/s/b.part", payload=b"y" * 500_000, available_at=2.0)
+        task = stream.close()
+        assert task.status is TransferStatus.SUCCEEDED
+        assert testbed.endpoint("cori").filesystem.read("/s/b.part") == b"y" * 500_000
+        assert testbed.clock.now == pytest.approx(task.completed_at)
+        # The second chunk could not start before it existed.
+        assert chunk.started_at >= 2.0
+
+    def test_channels_idle_when_producer_is_slow(self, testbed):
+        stream = testbed.service.open_stream("anvil", "cori")
+        first = stream.send_chunk("/a", size_bytes=10_000_000, available_at=0.0)
+        late = stream.send_chunk("/b", size_bytes=10_000_000, available_at=100.0)
+        stream.close()
+        assert late.started_at == pytest.approx(100.0)
+        assert late.wait_s == pytest.approx(0.0)
+        assert first.completed_at < 100.0
+
+    def test_chunks_queue_when_channels_are_busy(self, testbed):
+        # More simultaneous chunks than channels: the excess must wait.
+        stream = testbed.service.open_stream("anvil", "cori")
+        concurrency = testbed.service.default_settings.concurrency
+        chunks = [
+            stream.send_chunk(f"/c{i}", size_bytes=200_000_000, available_at=0.0)
+            for i in range(concurrency + 4)
+        ]
+        stream.close()
+        starts = sorted(c.started_at for c in chunks)
+        # The first `concurrency` chunks start together once the session is
+        # up; the 4 excess chunks wait for a channel to drain.
+        assert starts[concurrency - 1] == pytest.approx(starts[0])
+        assert all(s > starts[0] for s in starts[concurrency:])
+
+    def test_multi_chunk_task_accounting(self, testbed):
+        """Satellite fix: bytes/speed must sum chunks, not read a bulk estimate."""
+        stream = testbed.service.open_stream("anvil", "cori")
+        stream.send_chunk("/a", size_bytes=30_000_000)
+        stream.send_chunk("/b", size_bytes=70_000_000)
+        task = stream.close()
+        assert task.estimate is None
+        assert task.bytes_transferred == 100_000_000
+        assert task.effective_speed_mbps > 0
+        assert task.effective_speed_mbps == pytest.approx(
+            100.0 / task.duration_s, rel=1e-6
+        )
+
+    def test_closed_stream_rejects_chunks(self, testbed):
+        stream = testbed.service.open_stream("anvil", "cori")
+        stream.send_chunk("/a", size_bytes=10)
+        stream.close()
+        with pytest.raises(TransferError):
+            stream.send_chunk("/b", size_bytes=10)
+        with pytest.raises(TransferError):
+            stream.close()
+
+    def test_chunk_requires_payload_or_size(self, testbed):
+        stream = testbed.service.open_stream("anvil", "cori")
+        with pytest.raises(TransferError):
+            stream.send_chunk("/a")
+
+    def test_stream_task_registered_with_service(self, testbed):
+        stream = testbed.service.open_stream("anvil", "bebop", label="reg")
+        stream.send_chunk("/x", size_bytes=1000)
+        task = stream.close()
+        assert testbed.service.task(task.task_id) is task
+        assert task.request.paths == ["/x"]
+
+
+class TestStreamedOrchestration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_application("miranda", snapshots=1, scale=0.04, seed=5)
+
+    @pytest.fixture(scope="class")
+    def bulk_report(self, dataset):
+        return Ocelot(_streamed_config()).transfer_dataset(
+            dataset, "anvil", "cori", mode="compressed"
+        )
+
+    @pytest.fixture(scope="class")
+    def streamed_report(self, dataset):
+        config = _streamed_config(transfer_mode="streamed", stream_window=8)
+        return Ocelot(config).transfer_dataset(dataset, "anvil", "cori", mode="compressed")
+
+    def test_dataset_is_multi_file(self, dataset):
+        assert dataset.file_count >= 4
+
+    def test_streamed_beats_serialized_phases(self, bulk_report, streamed_report):
+        assert streamed_report.transfer_mode == "streamed"
+        assert streamed_report.timings.streaming_s > 0
+        # The headline claim: overlapped makespan < the bulk path's
+        # compress + transfer sum (let alone the full serialised total).
+        bulk_sum = bulk_report.timings.compression_s + bulk_report.timings.transfer_s
+        assert streamed_report.total_s < bulk_sum
+        assert streamed_report.total_s < bulk_report.total_s
+
+    def test_streamed_quality_matches_bulk(self, bulk_report, streamed_report):
+        assert streamed_report.measured_psnr_db == pytest.approx(
+            bulk_report.measured_psnr_db, rel=1e-6
+        )
+        assert streamed_report.compression_ratio == pytest.approx(
+            bulk_report.compression_ratio, rel=0.05
+        )
+
+    def test_streamed_lands_blobs_and_reconstructions(self, dataset, streamed_report):
+        config = _streamed_config(transfer_mode="streamed")
+        ocelot = Ocelot(config)
+        report = ocelot.transfer_dataset(dataset, "anvil", "cori", mode="compressed")
+        destination = ocelot.testbed.endpoint("cori")
+        compressed = destination.filesystem.paths(f"/compressed/{dataset.name}")
+        decompressed = destination.filesystem.paths(f"/decompressed/{dataset.name}")
+        assert len(compressed) == dataset.file_count
+        assert len(decompressed) == dataset.file_count
+        assert report.transferred_bytes > 0
+
+    def test_phase_spans_reported_alongside_makespan(self, streamed_report):
+        timings = streamed_report.timings
+        assert timings.compression_s > 0
+        assert timings.transfer_s > 0
+        assert timings.decompression_s > 0
+        # The makespan can never beat the longest single phase.
+        assert timings.streaming_s >= max(
+            timings.compression_s, timings.transfer_s, timings.decompression_s
+        ) - 1e-9
+        assert "streamed" in " ".join(streamed_report.notes)
+
+    def test_tight_window_throttles_but_still_completes(self, dataset):
+        config = _streamed_config(transfer_mode="streamed", stream_window=1)
+        report = Ocelot(config).transfer_dataset(dataset, "anvil", "cori", mode="compressed")
+        wide = _streamed_config(transfer_mode="streamed", stream_window=64)
+        wide_report = Ocelot(wide).transfer_dataset(dataset, "anvil", "cori", mode="compressed")
+        assert report.measured_psnr_db == pytest.approx(
+            wide_report.measured_psnr_db, rel=1e-6
+        )
+        # A 1-deep window serialises encode→ship per block, so it can only
+        # be slower (or equal, when the WAN was never the bottleneck).
+        assert report.timings.streaming_s >= wide_report.timings.streaming_s - 1e-9
+
+    def test_grouped_mode_keeps_bulk_path(self, dataset):
+        config = _streamed_config(transfer_mode="streamed", mode="grouped")
+        report = Ocelot(config).transfer_dataset(dataset, "anvil", "cori", mode="grouped")
+        assert report.transfer_mode == "bulk"
+        assert report.timings.streaming_s == 0.0
+        assert any("bulk path" in note for note in report.notes)
+
+    def test_streamed_without_blocks_streams_whole_files(self, dataset):
+        config = _streamed_config(transfer_mode="streamed", block_size=None)
+        report = Ocelot(config).transfer_dataset(dataset, "anvil", "cori", mode="compressed")
+        assert report.transfer_mode == "streamed"
+        assert report.measured_psnr_db is not None
+        assert report.timings.streaming_s > 0
+
+
+class TestConfigValidation:
+    def test_transfer_mode_validated(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(transfer_mode="warp")
+
+    def test_stream_window_validated(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(stream_window=0)
+
+    def test_block_policy_requires_adaptive(self):
+        with pytest.raises(ConfigurationError):
+            OcelotConfig(block_policy_path="/tmp/policy.json")

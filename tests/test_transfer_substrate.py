@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import (
@@ -20,7 +19,6 @@ from repro.transfer import (
     TransferRequest,
     TransferStatus,
     WANLink,
-    build_testbed,
 )
 from repro.utils.sizes import GB, MB
 
