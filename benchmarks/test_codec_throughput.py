@@ -1,0 +1,226 @@
+"""Codec throughput harness: Huffman, LZ77 and full-pipeline MB/s.
+
+Ocelot's pitch is that compression makes WAN transfer faster *end to
+end*, which makes the compressor's own throughput the product.  This
+benchmark measures the entropy-coding core on representative
+quantiser-code distributions and pins the perf trajectory:
+
+* the table-driven Huffman decoder must beat the seed per-bit decoder
+  (kept as ``HuffmanCodec.decode_bitloop``) by >= 5x on a 1M-symbol
+  stream;
+* every measurement is written to ``BENCH_codec.json`` next to this
+  file, so future PRs have a trajectory to regress against (CI uploads
+  it as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table  # noqa: E402
+
+from repro.compression import ErrorBound, create_compressor  # noqa: E402
+from repro.compression.encoders.huffman import HuffmanCodec  # noqa: E402
+from repro.compression.encoders.lz77 import LZ77Codec  # noqa: E402
+
+BENCH_JSON = Path(__file__).parent / "BENCH_codec.json"
+
+#: The decode-speedup floor the tentpole must hold on a 1M-symbol stream.
+MIN_DECODE_SPEEDUP = 5.0
+
+_RESULTS: dict = {}
+
+
+def _mbps(nbytes: int, seconds: float) -> float:
+    return nbytes / 1e6 / max(seconds, 1e-12)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time (first call may pay one-off table builds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def quantiser_stream(n: int, scale: float, seed: int = 0) -> np.ndarray:
+    """A Laplacian-distributed quantisation-bin stream.
+
+    Prediction residuals quantise to two-sided geometric/Laplacian bins
+    centred on zero; ``scale`` controls how tight the error bound is
+    (small scale = skewed stream, large scale = spread stream).
+    """
+    rng = np.random.default_rng(seed)
+    return np.clip(np.round(rng.laplace(0.0, scale, n)), -2000, 2000).astype(np.int64)
+
+
+class TestHuffmanThroughput:
+    def test_lut_decode_beats_seed_bitloop_by_5x(self):
+        """Table-driven decode >= 5x the seed per-bit decoder (1M symbols)."""
+        codec = HuffmanCodec()
+        rows = []
+        huffman_results = {}
+        for label, scale in [("skewed eb", 0.8), ("moderate eb", 3.0), ("tight eb", 12.0)]:
+            symbols = quantiser_stream(1_000_000, scale)
+            stream_bytes = symbols.nbytes
+
+            encode_s = _time(lambda: codec.encode(symbols))
+            payload, codebook, count = codec.encode(symbols)
+
+            decoded = codec.decode(payload, codebook, count)
+            np.testing.assert_array_equal(decoded, symbols)
+            decode_s = _time(lambda: codec.decode(payload, codebook, count))
+            bitloop_s = _time(lambda: codec.decode_bitloop(payload, codebook, count), repeats=1)
+            speedup = bitloop_s / decode_s
+            rows.append(
+                {
+                    "distribution": label,
+                    "encode MB/s": _mbps(stream_bytes, encode_s),
+                    "decode MB/s": _mbps(stream_bytes, decode_s),
+                    "seed decode MB/s": _mbps(stream_bytes, bitloop_s),
+                    "speedup": speedup,
+                    "ratio": stream_bytes / len(payload),
+                }
+            )
+            huffman_results[label] = {
+                "symbols": int(count),
+                "stream_bytes": int(stream_bytes),
+                "payload_bytes": len(payload),
+                "encode_MBps": round(_mbps(stream_bytes, encode_s), 2),
+                "decode_MBps": round(_mbps(stream_bytes, decode_s), 2),
+                "seed_decode_MBps": round(_mbps(stream_bytes, bitloop_s), 2),
+                "decode_speedup": round(speedup, 2),
+            }
+        print_table("Huffman codec throughput (1M-symbol quantiser streams)", rows)
+        _RESULTS["huffman"] = huffman_results
+        for row in rows:
+            assert row["speedup"] >= MIN_DECODE_SPEEDUP, (
+                f"{row['distribution']}: table-driven decode only "
+                f"{row['speedup']:.1f}x the seed per-bit decoder"
+            )
+
+    def test_shared_codebook_amortises_encode(self):
+        """Encoding blocks against a shared book skips per-block rebuilds."""
+        from repro.compression.encoders.huffman import (
+            MAX_CODE_LENGTH,
+            HuffmanCodebook,
+            symbol_frequencies,
+        )
+
+        stream = quantiser_stream(1_000_000, 2.0, seed=1)
+        blocks = np.array_split(stream, 64)
+        codec = HuffmanCodec()
+
+        per_block_s = _time(lambda: [codec.encode(block) for block in blocks])
+
+        def shared():
+            frequencies = symbol_frequencies(stream)
+            book = HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
+            return [codec.encode_with_book(block, book) for block in blocks]
+
+        shared_s = _time(shared)
+        assert all(payload is not None for payload in shared())
+        _RESULTS["shared_codebook"] = {
+            "blocks": len(blocks),
+            "per_block_encode_MBps": round(_mbps(stream.nbytes, per_block_s), 2),
+            "shared_encode_MBps": round(_mbps(stream.nbytes, shared_s), 2),
+        }
+        print_table(
+            "Shared vs per-block codebook encode (64 blocks)",
+            [
+                {
+                    "mode": "per-block books",
+                    "MB/s": _mbps(stream.nbytes, per_block_s),
+                },
+                {"mode": "shared book", "MB/s": _mbps(stream.nbytes, shared_s)},
+            ],
+        )
+
+
+class TestLZ77Throughput:
+    def test_vectorised_decode(self):
+        rng = np.random.default_rng(2)
+        data = b"".join(
+            [b"field header ", bytes(rng.integers(0, 12, 400, dtype=np.uint8)),
+             b"run" * 300] * 40
+        )
+        codec = LZ77Codec()
+        encode_s = _time(lambda: codec.encode(data), repeats=1)
+        payload = codec.encode(data)
+        assert codec.decode(payload) == data
+        decode_s = _time(lambda: codec.decode(payload))
+        _RESULTS["lz77"] = {
+            "input_bytes": len(data),
+            "token_bytes": len(payload),
+            "encode_MBps": round(_mbps(len(data), encode_s), 3),
+            "decode_MBps": round(_mbps(len(data), decode_s), 2),
+        }
+        print_table(
+            "LZ77 throughput",
+            [
+                {
+                    "direction": "encode",
+                    "MB/s": _mbps(len(data), encode_s),
+                },
+                {"direction": "decode", "MB/s": _mbps(len(data), decode_s)},
+            ],
+        )
+
+
+class TestPipelineThroughput:
+    def test_full_pipeline_and_write_bench_json(self):
+        """Blocked sz3 pipeline MB/s, then persist BENCH_codec.json."""
+        x = np.linspace(0, 6 * np.pi, 384)
+        rng = np.random.default_rng(3)
+        field = (
+            np.sin(x)[:, None] * np.cos(x)[None, :]
+            + rng.normal(0, 0.01, (384, 384))
+        ).astype(np.float32)
+        bound = ErrorBound(value=1e-3, mode="abs")
+        rows = []
+        pipeline_results = {}
+        for label, shared in [("shared codebook", True), ("per-block codebooks", False)]:
+            compressor = create_compressor("sz3").configure_blocks(
+                block_shape=64, shared_codebook=shared
+            )
+            result = compressor.compress(field, bound)
+            compress_s = _time(lambda: compressor.compress(field, bound), repeats=2)
+            blob = result.blob
+            decompress_s = _time(lambda: compressor.decompress(blob), repeats=2)
+            recon = compressor.decompress(blob)
+            assert np.abs(recon.astype(np.float64) - field).max() <= 1e-3 * 1.01
+            rows.append(
+                {
+                    "mode": label,
+                    "compress MB/s": _mbps(field.nbytes, compress_s),
+                    "decompress MB/s": _mbps(field.nbytes, decompress_s),
+                    "blob bytes": blob.nbytes,
+                }
+            )
+            pipeline_results[label] = {
+                "field_bytes": int(field.nbytes),
+                "blob_bytes": int(blob.nbytes),
+                "compress_MBps": round(_mbps(field.nbytes, compress_s), 2),
+                "decompress_MBps": round(_mbps(field.nbytes, decompress_s), 2),
+            }
+        print_table("sz3 pipeline throughput (384x384 float32, blocked 64)", rows)
+        shared_bytes = pipeline_results["shared codebook"]["blob_bytes"]
+        per_block_bytes = pipeline_results["per-block codebooks"]["blob_bytes"]
+        assert shared_bytes < per_block_bytes, (
+            "shared-codebook blob should be smaller than the per-block layout"
+        )
+        _RESULTS["pipeline"] = pipeline_results
+
+        payload = {"min_decode_speedup": MIN_DECODE_SPEEDUP, **_RESULTS}
+        BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {BENCH_JSON}")
+        assert BENCH_JSON.exists()

@@ -55,6 +55,10 @@ def _add_block_arguments(sub: argparse.ArgumentParser) -> None:
                      help="trained BlockPolicy JSON; replaces brute-force "
                           "adaptive selection with the learned policy "
                           "(requires --adaptive-predictor)")
+    sub.add_argument("--codebook", default="shared", choices=["shared", "per-block"],
+                     help="entropy codebook layout in blocked Huffman mode: "
+                          "one shared codebook per file stored once in the "
+                          "blob header (default), or one per block")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,6 +204,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         adaptive_predictor=args.adaptive_predictor,
         block_executor=ParallelExecutor(block_workers=args.block_workers).map_blocks,
         block_policy=policy,
+        shared_codebook=args.codebook == "shared",
     )
     bound = ErrorBound(value=args.error_bound, mode=args.mode)
     result = compressor.compress(data, bound, collect_quality=True)
@@ -235,6 +240,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         block_workers=args.block_workers,
         adaptive_predictor=args.adaptive_predictor,
+        shared_codebook=args.codebook == "shared",
         transfer_mode=args.transfer_mode,
         stream_window=args.stream_window,
         block_policy_path=args.block_policy,
@@ -259,6 +265,58 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _codebook_summary(blob) -> dict:
+    """Codebook layout of a blob: shared / per-block, and serialized size.
+
+    A shared codebook's size is read straight off the blob header.  In
+    per-block mode each block's inner container is decompressed (inspect
+    is a debugging aid, so the cost is acceptable) and the
+    ``codes_codebook`` section sizes are summed.
+    """
+    from .compression.encoders.lossless import get_lossless_backend
+    from .compression.interface import SectionContainer
+    from .errors import CompressionError, ConfigurationError, EncodingError
+
+    def per_block_books(entries) -> tuple:
+        """(total bytes, count) of block-local ``codes_codebook`` sections."""
+        backend_name = blob.container.header.get("lossless_backend", "")
+        try:
+            backend = get_lossless_backend(backend_name)
+        except ConfigurationError:
+            return 0, 0
+        total = 0
+        blocks_with_books = 0
+        for entry in entries:
+            try:
+                inner = SectionContainer.from_bytes(
+                    backend.decompress(blob.container.get_section(entry["section"])),
+                    lazy=True,
+                )
+                total += inner.section_size("codes_codebook")
+                blocks_with_books += 1
+            except (EncodingError, CompressionError):
+                continue
+        return total, blocks_with_books
+
+    mode = blob.codebook_mode
+    summary = {"mode": mode, "codebook_bytes": 0}
+    if mode == "shared":
+        summary["codebook_bytes"] = len(blob.shared_codebook_bytes or b"")
+        # Blocks whose alphabet escaped the shared book carry their own
+        # codebook — count those too, or the readout would be wrong in
+        # exactly the fallback case it exists to debug.
+        fallback = [e for e in blob.block_index if e.get("codebook") == "block"]
+        if fallback:
+            total, blocks_with_books = per_block_books(fallback)
+            summary["codebook_bytes"] += total
+            summary["blocks_with_own_codebook"] = blocks_with_books
+    elif mode == "per-block":
+        total, blocks_with_books = per_block_books(blob.block_index)
+        summary["codebook_bytes"] = total
+        summary["blocks_with_own_codebook"] = blocks_with_books
+    return summary
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .compression import CompressedBlob
 
@@ -275,6 +333,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "origin": entry["origin"],
                 "shape": entry["shape"],
                 "predictor": entry.get("predictor", ""),
+                "codebook": entry.get("codebook", ""),
                 "section": entry["section"],
                 "section_bytes": blob.container.section_size(entry["section"]),
             }
@@ -289,6 +348,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         "serialized_bytes": len(data),
         "num_blocks": blob.num_blocks,
         "is_blocked": blob.is_blocked,
+        "codebook": _codebook_summary(blob),
         "blocks": entries,
     }
     if args.json:
@@ -304,12 +364,22 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print("  layout: whole-array (single payload section)")
         return 0
     print(f"  layout: blocked ({payload['num_blocks']} independent blocks)")
-    print(f"  {'id':>4s} {'origin':>16s} {'shape':>14s} {'predictor':>14s} {'bytes':>10s}")
+    codebook = payload["codebook"]
+    if codebook["mode"] == "shared":
+        print(f"  codebook: shared (stored once in header, "
+              f"{format_bytes(codebook['codebook_bytes'])})")
+    elif codebook["mode"] == "per-block":
+        print(f"  codebook: per-block ({codebook.get('blocks_with_own_codebook', 0)} "
+              f"blocks, {format_bytes(codebook['codebook_bytes'])} total)")
+    else:
+        print("  codebook: none (no entropy stage)")
+    print(f"  {'id':>4s} {'origin':>16s} {'shape':>14s} {'predictor':>14s}"
+          f" {'codebook':>9s} {'bytes':>10s}")
     for entry in entries:
         print(
             f"  {entry['id']:>4d} {str(tuple(entry['origin'])):>16s}"
             f" {str(tuple(entry['shape'])):>14s} {entry['predictor']:>14s}"
-            f" {entry['section_bytes']:>10d}"
+            f" {entry['codebook']:>9s} {entry['section_bytes']:>10d}"
         )
     return 0
 

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from .huffman import HuffmanCodec, HuffmanCodebook, huffman_code_lengths
+from .huffman import (
+    MAX_CODE_LENGTH,
+    HuffmanCodebook,
+    HuffmanCodec,
+    huffman_code_lengths,
+    length_limited_code_lengths,
+    symbol_frequencies,
+)
 from .rle import run_length_encode, run_length_decode, zero_run_length_encode, zero_run_length_decode
 from .lz77 import LZ77Codec
 from .lossless import LosslessBackend, DeflateBackend, RawBackend, get_lossless_backend
@@ -10,7 +17,10 @@ from .lossless import LosslessBackend, DeflateBackend, RawBackend, get_lossless_
 __all__ = [
     "HuffmanCodec",
     "HuffmanCodebook",
+    "MAX_CODE_LENGTH",
     "huffman_code_lengths",
+    "length_limited_code_lengths",
+    "symbol_frequencies",
     "run_length_encode",
     "run_length_decode",
     "zero_run_length_encode",

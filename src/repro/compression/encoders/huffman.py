@@ -6,23 +6,66 @@ final dictionary/LZ pass.  Besides the actual codec, this module exposes
 which the quality-prediction features (``P0`` — the share of the encoded
 stream occupied by the zero bin) are computed from without needing to
 materialise the encoded bit stream.
+
+The codec itself is table-driven and vectorised:
+
+* **Encoding** counts frequencies with ``np.bincount`` (quantiser output
+  has a bounded alphabet), builds a *length-limited* canonical codebook
+  (codes capped at :data:`MAX_CODE_LENGTH` bits), gathers per-symbol
+  codes/lengths through dense lookup tables, and packs the bit stream
+  with ``np.repeat`` + ``np.packbits`` instead of a per-symbol Python
+  accumulator loop.
+* **Decoding** builds a flat ``2**max_len`` lookup table mapping every
+  possible ``max_len``-bit window to ``(symbol, code length)``, computes
+  the window value at every bit offset in a handful of vectorised
+  passes, and then walks the stream with one table probe per *symbol*
+  (the seed implementation probed a dict once per *bit*).  The seed
+  per-bit decoder is retained as :meth:`HuffmanCodec.decode_bitloop` —
+  it is the fallback for legacy codebooks whose unlimited code lengths
+  exceed the LUT budget, and the reference the throughput benchmark
+  measures the table-driven path against.
+
+Codebooks serialise exactly as before ((symbol, length) int64 pairs), so
+blobs written by earlier revisions decode unchanged and new blobs remain
+readable by the canonical-code definition alone.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ...errors import EncodingError
 
-__all__ = ["HuffmanCodebook", "HuffmanCodec", "huffman_code_lengths"]
+__all__ = [
+    "HuffmanCodebook",
+    "HuffmanCodec",
+    "huffman_code_lengths",
+    "length_limited_code_lengths",
+    "symbol_frequencies",
+    "MAX_CODE_LENGTH",
+]
+
+#: Default cap on code lengths (bits).  Length-limiting keeps the decode
+#: LUT at a bounded ``2**16`` entries; alphabets larger than ``2**16``
+#: symbols raise the cap to ``ceil(log2(n))`` so a prefix code exists.
+MAX_CODE_LENGTH = 16
+
+#: Widest LUT the decoder will materialise (bits).  Legacy codebooks with
+#: longer (unlimited) codes fall back to the per-bit reference decoder.
+_LUT_MAX_BITS = 20
+
+#: Alphabets whose value span exceeds this fall back to ``np.unique``
+#: frequency counting instead of a dense ``np.bincount``.
+_DENSE_SPAN_LIMIT = 1 << 22
 
 
 def huffman_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
-    """Return the Huffman code length (bits) of each symbol.
+    """Return the (unlimited) Huffman code length in bits of each symbol.
 
     A single-symbol alphabet is assigned a 1-bit code.
     """
@@ -46,17 +89,95 @@ def huffman_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
     return {sym: depth for sym, depth in group}
 
 
+def length_limited_code_lengths(
+    frequencies: Dict[int, int], max_length: int = MAX_CODE_LENGTH
+) -> Dict[int, int]:
+    """Huffman code lengths capped at ``max_length`` bits.
+
+    Lengths exceeding the cap are clamped and the Kraft inequality is
+    repaired by lengthening the least-frequent symbols; leftover Kraft
+    slack is then spent shortening the most frequent ones.  The result
+    is always a valid prefix code (Kraft sum <= 1) and equals the exact
+    Huffman lengths whenever those already fit the cap.
+    """
+    lengths = huffman_code_lengths(frequencies)
+    if not lengths or len(lengths) == 1:
+        return lengths
+    # A prefix code over n symbols needs at least ceil(log2(n)) bits.
+    min_feasible = int(np.ceil(np.log2(len(lengths))))
+    cap = max(int(max_length), min_feasible)
+    if max(lengths.values()) <= cap:
+        return lengths
+    lengths = {sym: min(length, cap) for sym, length in lengths.items()}
+    budget = 1 << cap
+    kraft = sum(1 << (cap - length) for length in lengths.values())
+    if kraft > budget:
+        # Lengthen the cheapest symbols first (deterministic order).
+        order = sorted(lengths, key=lambda s: (frequencies[s], s))
+        idx = 0
+        while kraft > budget:
+            sym = order[idx % len(order)]
+            if lengths[sym] < cap:
+                kraft -= 1 << (cap - lengths[sym] - 1)
+                lengths[sym] += 1
+            idx += 1
+    slack = budget - kraft
+    for sym in sorted(lengths, key=lambda s: (-frequencies[s], s)):
+        while lengths[sym] > 1:
+            cost = 1 << (cap - lengths[sym])
+            if cost > slack:
+                break
+            slack -= cost
+            lengths[sym] -= 1
+    return lengths
+
+
+def symbol_frequencies(arr: np.ndarray) -> Dict[int, int]:
+    """Frequencies of each symbol in ``arr`` (int64), vectorised.
+
+    Uses ``np.bincount`` over the value span when it is bounded — which
+    quantiser output guarantees — and falls back to ``np.unique`` for
+    pathologically wide alphabets.
+    """
+    arr = np.asarray(arr, dtype=np.int64).ravel()
+    if arr.size == 0:
+        return {}
+    lo = int(arr.min())
+    hi = int(arr.max())
+    span = hi - lo + 1
+    if span <= _DENSE_SPAN_LIMIT:
+        counts = np.bincount(arr - lo, minlength=span)
+        present = np.flatnonzero(counts)
+        return {int(sym + lo): int(counts[sym]) for sym in present}
+    uniques, counts = np.unique(arr, return_counts=True)
+    return {int(s): int(c) for s, c in zip(uniques, counts)}
+
+
 @dataclass
 class HuffmanCodebook:
     """A canonical Huffman codebook: symbol -> (code, length)."""
 
     lengths: Dict[int, int]
     codes: Dict[int, int]
+    #: Lazily built dense encode tables: (lo, code_table, length_table).
+    _dense: Optional[Tuple[int, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
-    def from_frequencies(cls, frequencies: Dict[int, int]) -> "HuffmanCodebook":
-        """Build a canonical codebook from symbol frequencies."""
-        lengths = huffman_code_lengths(frequencies)
+    def from_frequencies(
+        cls, frequencies: Dict[int, int], max_length: Optional[int] = None
+    ) -> "HuffmanCodebook":
+        """Build a canonical codebook from symbol frequencies.
+
+        ``max_length`` caps code lengths (length-limited canonical code);
+        ``None`` keeps the exact, unlimited Huffman lengths — what the
+        quality-prediction features expect.
+        """
+        if max_length is None:
+            lengths = huffman_code_lengths(frequencies)
+        else:
+            lengths = length_limited_code_lengths(frequencies, max_length)
         codes = _canonical_codes(lengths)
         return cls(lengths=lengths, codes=codes)
 
@@ -77,11 +198,19 @@ class HuffmanCodebook:
         zero_bits = self.lengths.get(zero_symbol, 0) * frequencies.get(zero_symbol, 0)
         return zero_bits / total
 
+    def max_length(self) -> int:
+        """Longest code length in the book (0 for an empty book)."""
+        return max(self.lengths.values()) if self.lengths else 0
+
     def serialize(self) -> bytes:
         """Serialise the codebook as (symbol, length) pairs."""
         items = sorted(self.lengths.items())
         arr = np.array(items, dtype=np.int64)
         return arr.tobytes()
+
+    def serialized_nbytes(self) -> int:
+        """Size :meth:`serialize` produces, without materialising it."""
+        return 16 * len(self.lengths)
 
     @classmethod
     def deserialize(cls, payload: bytes) -> "HuffmanCodebook":
@@ -92,6 +221,65 @@ class HuffmanCodebook:
         pairs = arr.reshape(-1, 2)
         lengths = {int(sym): int(length) for sym, length in pairs}
         return cls.from_lengths(lengths)
+
+    # ------------------------------------------------------------------ #
+    # Dense encode tables
+    # ------------------------------------------------------------------ #
+    def dense_tables(self) -> Optional[Tuple[int, np.ndarray, np.ndarray]]:
+        """``(lo, code_table, length_table)`` spanning the symbol range.
+
+        ``length_table`` is 0 for values with no code.  Returns ``None``
+        when the book is empty or its value span is too wide to densify.
+        """
+        if self._dense is not None:
+            return self._dense
+        if not self.lengths:
+            return None
+        lo = min(self.lengths)
+        hi = max(self.lengths)
+        span = hi - lo + 1
+        if span > _DENSE_SPAN_LIMIT:
+            return None
+        code_table = np.zeros(span, dtype=np.uint64)
+        length_table = np.zeros(span, dtype=np.uint8)
+        for sym, length in self.lengths.items():
+            code_table[sym - lo] = self.codes[sym]
+            length_table[sym - lo] = length
+        self._dense = (lo, code_table, length_table)
+        return self._dense
+
+    def lookup(self, arr: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised per-symbol ``(codes, lengths)`` for ``arr``.
+
+        Returns ``None`` when any symbol in ``arr`` has no code in this
+        book — the caller's cue to fall back to a per-block codebook.
+        """
+        tables = self.dense_tables()
+        if tables is None:
+            return self._sparse_lookup(arr)
+        lo, code_table, length_table = tables
+        shifted = arr - lo
+        if shifted.size and (
+            int(shifted.min()) < 0 or int(shifted.max()) >= length_table.size
+        ):
+            return None
+        lens = length_table[shifted]
+        if shifted.size and int(lens.min()) == 0:
+            return None
+        return code_table[shifted], lens
+
+    def _sparse_lookup(self, arr: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``lookup`` for alphabets too wide for a dense value table."""
+        if not self.lengths:
+            return None
+        symbols = np.array(sorted(self.lengths), dtype=np.int64)
+        idx = np.searchsorted(symbols, arr)
+        idx_clipped = np.clip(idx, 0, symbols.size - 1)
+        if arr.size and not bool(np.all(symbols[idx_clipped] == arr)):
+            return None
+        code_table = np.array([self.codes[int(s)] for s in symbols], dtype=np.uint64)
+        length_table = np.array([self.lengths[int(s)] for s in symbols], dtype=np.uint8)
+        return code_table[idx_clipped], length_table[idx_clipped]
 
 
 def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, int]:
@@ -110,8 +298,211 @@ def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, int]:
     return codes
 
 
+#: Streams at least this long decode through the multi-symbol LUT (its
+#: one-off build cost only pays for itself on long streams).
+_MULTI_EMIT_MIN = 1 << 16
+
+
+class _LutDecoder:
+    """Flat-table canonical Huffman decoder.
+
+    Maps every possible ``max_len``-bit window to the symbol whose code
+    prefixes it and that code's length, so decoding consumes one table
+    probe per symbol instead of one dict probe per bit.  Long streams
+    additionally use a *multi-symbol* table: every complete code inside
+    the window is emitted in one probe, collapsing the serial walk by
+    the average number of codes per window (large for the skewed,
+    short-code streams the quantiser produces).
+    """
+
+    def __init__(self, book: HuffmanCodebook) -> None:
+        self.max_len = book.max_length()
+        if not 0 < self.max_len <= _LUT_MAX_BITS:
+            raise EncodingError(
+                f"code lengths up to {self.max_len} bits exceed the LUT budget"
+            )
+        size = 1 << self.max_len
+        self.symbols = np.zeros(size, dtype=np.int64)
+        # 0 marks windows no code prefixes (possible when Kraft sum < 1):
+        # hitting one during decode means the stream is corrupt.
+        self.step = np.zeros(size, dtype=np.uint8)
+        for sym, length in book.lengths.items():
+            start = book.codes[sym] << (self.max_len - length)
+            end = start + (1 << (self.max_len - length))
+            self.symbols[start:end] = sym
+            self.step[start:end] = length
+        self._complete = not bool(np.any(self.step == 0))
+        self._multi: Optional[tuple] = None
+
+    def _windows(self, payload: bytes) -> Tuple[np.ndarray, int]:
+        """The ``max_len``-bit window value at every bit offset.
+
+        Built byte-wise: a big-endian 32-bit word is assembled at every
+        byte offset (4 vectorised passes over the byte array) and the 8
+        bit-phase shifts are broadcast from it, instead of OR-ing
+        ``max_len`` per-bit planes.
+        """
+        data = np.frombuffer(payload, dtype=np.uint8)
+        total_bits = data.size * 8
+        L = self.max_len
+        padded = np.concatenate([data, np.zeros(3, dtype=np.uint8)]).astype(np.uint32)
+        w32 = (
+            (padded[:-3] << np.uint32(24))
+            | (padded[1:-2] << np.uint32(16))
+            | (padded[2:-1] << np.uint32(8))
+            | padded[3:]
+        )
+        shifts = (32 - L - np.arange(8)).astype(np.uint32)
+        mask = np.uint32((1 << L) - 1)
+        windows = ((w32[:, None] >> shifts[None, :]) & mask).ravel()
+        return windows, total_bits
+
+    def _multi_tables(self) -> tuple:
+        """Build (lazily) the multi-symbol emission tables.
+
+        For every window value: how many complete codes it contains
+        (``n_syms``), the bits they span (``n_bits``), and their symbols
+        and code lengths flattened into ``flat_syms`` / ``flat_lens``
+        addressed by ``flat_start``.  Construction is fully vectorised —
+        one gather round per emitted code position.
+        """
+        if self._multi is not None:
+            return self._multi
+        L = self.max_len
+        size = 1 << L
+        w = np.arange(size, dtype=np.uint32)
+        first_len = self.step.astype(np.int32)
+        sym_cols = [self.symbols]
+        len_cols = [first_len]
+        consumed = first_len.copy()
+        n_syms = (first_len > 0).astype(np.int64)
+        active = first_len > 0
+        while True:
+            remaining = L - consumed
+            nxt = (w << consumed.astype(np.uint32)) & np.uint32(size - 1)
+            nxt_len = self.step[nxt].astype(np.int32)
+            can = active & (nxt_len > 0) & (nxt_len <= remaining)
+            if not bool(can.any()):
+                break
+            sym_cols.append(np.where(can, self.symbols[nxt], 0))
+            len_cols.append(np.where(can, nxt_len, 0))
+            consumed = consumed + np.where(can, nxt_len, 0)
+            n_syms += can
+            active = can
+        stacked_syms = np.stack(sym_cols, axis=1)
+        stacked_lens = np.stack(len_cols, axis=1)
+        # Emitted codes occupy the leading columns of each row.
+        prefix = np.arange(stacked_syms.shape[1])[None, :] < n_syms[:, None]
+        flat_syms = stacked_syms[prefix]
+        flat_lens = stacked_lens[prefix].astype(np.int64)
+        flat_start = np.cumsum(n_syms) - n_syms
+        self._multi = (
+            n_syms,
+            consumed.astype(np.int64),
+            flat_start,
+            flat_syms,
+            flat_lens,
+            n_syms.tolist(),
+            consumed.tolist(),
+        )
+        return self._multi
+
+    def decode(self, payload: bytes, count: int) -> np.ndarray:
+        """Decode ``count`` symbols from ``payload``."""
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Legacy codebooks between MAX_CODE_LENGTH and the LUT budget
+        # would need multi-emit tables over 2**max_len windows — hundreds
+        # of MB for 20-bit codes — so only length-limited books take the
+        # grouped path.
+        if count >= _MULTI_EMIT_MIN and self.max_len <= MAX_CODE_LENGTH:
+            return self._decode_multi(payload, count)
+        windows, total_bits = self._windows(payload)
+        return self._decode_single(windows, total_bits, count)
+
+    def _decode_single(
+        self, windows: np.ndarray, total_bits: int, count: int
+    ) -> np.ndarray:
+        step_at = self.step[windows]
+        step_list = step_at.tolist()
+        visited: List[int] = []
+        append = visited.append
+        pos = 0
+        try:
+            for _ in range(count):
+                append(pos)
+                pos += step_list[pos]
+        except IndexError:
+            raise EncodingError(
+                "Huffman stream exhausted before all symbols decoded"
+            ) from None
+        if pos > total_bits:
+            raise EncodingError("Huffman stream exhausted before all symbols decoded")
+        positions = np.array(visited, dtype=np.int64)
+        if not self._complete and not step_at[positions].all():
+            raise EncodingError("invalid Huffman code encountered during decode")
+        return self.symbols[windows[positions]]
+
+    def _decode_multi(self, payload: bytes, count: int) -> np.ndarray:
+        n_syms, n_bits, flat_start, flat_syms, flat_lens, nsyms_list, nbits_list = (
+            self._multi_tables()
+        )
+        data = np.frombuffer(payload, dtype=np.uint8)
+        total_bits = data.size * 8
+        # 32-bit big-endian word at every *byte* offset; the walk derives
+        # each probed window from it in Python instead of materialising
+        # (and converting) a per-bit window array 8x the size.
+        padded = np.concatenate([data, np.zeros(3, dtype=np.uint8)]).astype(np.uint32)
+        word_list = (
+            (padded[:-3] << np.uint32(24))
+            | (padded[1:-2] << np.uint32(16))
+            | (padded[2:-1] << np.uint32(8))
+            | padded[3:]
+        ).tolist()
+        base_shift = 32 - self.max_len
+        mask = (1 << self.max_len) - 1
+        visited: List[int] = []
+        append = visited.append
+        pos = 0
+        emitted = 0
+        while emitted < count:
+            if pos >= total_bits:
+                raise EncodingError("Huffman stream exhausted before all symbols decoded")
+            value = (word_list[pos >> 3] >> (base_shift - (pos & 7))) & mask
+            group = nsyms_list[value]
+            if group == 0:
+                raise EncodingError("invalid Huffman code encountered during decode")
+            append(value)
+            emitted += group
+            pos += nbits_list[value]
+        wins = np.array(visited, dtype=np.int64)
+        counts = n_syms[wins]
+        total = int(counts.sum())
+        base = np.cumsum(counts) - counts
+        idx = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(base, counts)
+            + np.repeat(flat_start[wins], counts)
+        )
+        lens_out = flat_lens[idx[:count]]
+        if int(lens_out.sum()) > total_bits:
+            raise EncodingError("Huffman stream exhausted before all symbols decoded")
+        return flat_syms[idx[:count]]
+
+
 class HuffmanCodec:
     """Encode/decode integer symbol arrays with canonical Huffman coding."""
+
+    #: Decoders are cached per codebook payload so shared-codebook blobs
+    #: build their LUT once per file instead of once per block.
+    _DECODER_CACHE_SIZE = 8
+
+    def __init__(self) -> None:
+        self._decoders: Dict[bytes, _LutDecoder] = {}
+        # Blocked decompression fans decode calls out over a thread pool;
+        # the lock keeps cache eviction race-free (building the same
+        # decoder twice is benign, a double-pop KeyError is not).
+        self._cache_lock = threading.Lock()
 
     def encode(self, symbols: np.ndarray) -> Tuple[bytes, bytes, int]:
         """Encode ``symbols``.
@@ -123,24 +514,69 @@ class HuffmanCodec:
         count = int(arr.size)
         if count == 0:
             return b"", HuffmanCodebook(lengths={}, codes={}).serialize(), 0
-        uniques, inverse, counts = np.unique(arr, return_inverse=True, return_counts=True)
-        frequencies = {int(s): int(c) for s, c in zip(uniques, counts)}
-        book = HuffmanCodebook.from_frequencies(frequencies)
-        # Vectorised lookup of per-symbol codes/lengths via the unique inverse.
-        code_table = np.array([book.codes[int(s)] for s in uniques], dtype=np.uint64)
-        len_table = np.array([book.lengths[int(s)] for s in uniques], dtype=np.uint8)
-        codes = code_table[inverse]
-        lens = len_table[inverse]
-        payload = _pack_codes(codes, lens)
+        frequencies = symbol_frequencies(arr)
+        book = HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
+        payload = self.encode_with_book(arr, book)
+        if payload is None:  # pragma: no cover - book covers arr by construction
+            raise EncodingError("freshly built codebook failed to cover its input")
         return payload, book.serialize(), count
+
+    def encode_with_book(
+        self, symbols: np.ndarray, book: HuffmanCodebook
+    ) -> Optional[bytes]:
+        """Encode ``symbols`` against an existing (e.g. shared) codebook.
+
+        Returns ``None`` when any symbol has no code in ``book`` — the
+        shared-codebook pipeline then falls back to a per-block book.
+        """
+        arr = np.asarray(symbols, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return b""
+        looked_up = book.lookup(arr)
+        if looked_up is None:
+            return None
+        codes, lens = looked_up
+        return _pack_codes(codes, lens)
 
     def decode(self, payload: bytes, codebook_bytes: bytes, count: int) -> np.ndarray:
         """Decode ``count`` symbols from ``payload`` using the codebook."""
         if count == 0:
             return np.zeros(0, dtype=np.int64)
+        with self._cache_lock:
+            decoder = self._decoders.get(codebook_bytes)
+        if decoder is None:
+            book = HuffmanCodebook.deserialize(codebook_bytes)
+            if not book.lengths:
+                raise EncodingError("cannot decode with an empty Huffman codebook")
+            if book.max_length() > _LUT_MAX_BITS:
+                # Legacy unlimited-length codebook: the LUT would not fit,
+                # use the reference per-bit decoder.
+                return self._decode_bitloop(payload, book, count)
+            decoder = _LutDecoder(book)
+            with self._cache_lock:
+                while len(self._decoders) >= self._DECODER_CACHE_SIZE:
+                    self._decoders.pop(next(iter(self._decoders)))
+                self._decoders[codebook_bytes] = decoder
+        return decoder.decode(payload, count)
+
+    def decode_bitloop(
+        self, payload: bytes, codebook_bytes: bytes, count: int
+    ) -> np.ndarray:
+        """Reference bit-at-a-time decoder (the seed implementation).
+
+        Kept as the fallback for legacy codebooks whose code lengths
+        exceed the LUT budget and as the baseline the codec throughput
+        benchmark measures the table-driven decoder against.
+        """
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
         book = HuffmanCodebook.deserialize(codebook_bytes)
         if not book.lengths:
             raise EncodingError("cannot decode with an empty Huffman codebook")
+        return self._decode_bitloop(payload, book, count)
+
+    @staticmethod
+    def _decode_bitloop(payload: bytes, book: HuffmanCodebook, count: int) -> np.ndarray:
         if len(book.lengths) == 1:
             only = next(iter(book.lengths))
             return np.full(count, only, dtype=np.int64)
@@ -148,7 +584,7 @@ class HuffmanCodec:
         decode_map: Dict[Tuple[int, int], int] = {
             (length, book.codes[sym]): sym for sym, length in book.lengths.items()
         }
-        max_len = max(book.lengths.values())
+        max_len = book.max_length()
         bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
         out = np.empty(count, dtype=np.int64)
         pos = 0
@@ -171,37 +607,57 @@ class HuffmanCodec:
         return out
 
     def estimate_encoded_bytes(self, symbols: np.ndarray) -> int:
-        """Encoded payload size in bytes without materialising the bit stream."""
+        """Serialised size (payload + codebook) without materialising bits.
+
+        Includes the codebook overhead: adaptive per-block predictor
+        selection compares serialised sizes, and ignoring the codebook
+        would bias the choice toward high-alphabet encodings.
+        """
         arr = np.asarray(symbols, dtype=np.int64).ravel()
         if arr.size == 0:
             return 0
-        uniques, counts = np.unique(arr, return_counts=True)
-        frequencies = {int(s): int(c) for s, c in zip(uniques, counts)}
-        book = HuffmanCodebook.from_frequencies(frequencies)
+        frequencies = symbol_frequencies(arr)
+        book = HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
         bits = book.encoded_bit_size(frequencies)
-        return (bits + 7) // 8
+        return (bits + 7) // 8 + book.serialized_nbytes()
+
+
+#: Symbols per chunk in :func:`_pack_codes`; bounds the transient
+#: ``np.repeat`` expansions to a few MB regardless of stream length.
+_PACK_CHUNK = 1 << 16
 
 
 def _pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:
-    """Pack per-symbol (code, length) pairs into a MSB-first byte stream."""
-    total_bits = int(lengths.sum(dtype=np.int64))
+    """Pack per-symbol (code, length) pairs into a MSB-first byte stream.
+
+    Bit offsets come from a cumulative sum of the lengths; each code is
+    expanded to its individual bits with ``np.repeat`` and the whole
+    stream is packed in one ``np.packbits`` call — no Python-level
+    per-symbol loop.
+    """
+    lens = np.asarray(lengths, dtype=np.int64)
+    total_bits = int(lens.sum())
     if total_bits == 0:
         return b""
-    # Accumulate into a Python integer in chunks: fast enough for the
-    # moderate symbol counts used in tests/benchmarks while remaining
-    # exact for arbitrary code lengths.
-    out = bytearray()
-    acc = 0
-    acc_bits = 0
-    codes_list = codes.tolist()
-    lens_list = lengths.tolist()
-    for code, length in zip(codes_list, lens_list):
-        acc = (acc << length) | int(code)
-        acc_bits += length
-        while acc_bits >= 8:
-            acc_bits -= 8
-            out.append((acc >> acc_bits) & 0xFF)
-            acc &= (1 << acc_bits) - 1
-    if acc_bits:
-        out.append((acc << (8 - acc_bits)) & 0xFF)
-    return bytes(out)
+    codes = np.asarray(codes, dtype=np.uint64)
+    bits = np.empty(total_bits, dtype=np.uint8)
+    ends = np.cumsum(lens)
+    base = 0
+    for start in range(0, lens.size, _PACK_CHUNK):
+        stop = min(start + _PACK_CHUNK, lens.size)
+        chunk_lens = lens[start:stop]
+        chunk_bits = int(chunk_lens.sum())
+        if chunk_bits == 0:
+            base = int(ends[stop - 1])
+            continue
+        # Bit j of symbol k (MSB first) is (code_k >> (len_k - 1 - j)) & 1;
+        # within the chunk the packed offsets are simply 0..chunk_bits.
+        offsets = np.cumsum(chunk_lens) - chunk_lens
+        intra = np.arange(chunk_bits, dtype=np.int64) - np.repeat(offsets, chunk_lens)
+        shifts = (np.repeat(chunk_lens, chunk_lens) - 1 - intra).astype(np.uint64)
+        expanded = np.repeat(codes[start:stop], chunk_lens)
+        bits[base : base + chunk_bits] = ((expanded >> shifts) & np.uint64(1)).astype(
+            np.uint8
+        )
+        base = int(ends[stop - 1])
+    return np.packbits(bits).tobytes()

@@ -6,6 +6,16 @@ deflate backend (:mod:`repro.compression.encoders.lossless`) for speed,
 but an explicit LZ77 implementation is provided both for completeness
 and so that the dictionary-coding stage can be unit-tested in isolation
 and swapped into pipelines for ablation.
+
+Decoding parses the token stream with one structured ``np.frombuffer``
+and reconstructs the output with bulk slice copies: runs of literal-only
+tokens append in one slice, non-overlapping matches copy in one slice,
+and overlapping matches (the RLE case, ``offset < length``) replicate
+their period pattern instead of appending byte by byte.  Encoding keeps
+a *bounded* prefix index: candidate positions per 3-byte prefix are
+pruned of entries that fell out of the sliding window and capped at
+``max_candidates``, so match search stays O(window-bounded work) and the
+index cannot grow with the input.
 """
 
 from __future__ import annotations
@@ -13,11 +23,15 @@ from __future__ import annotations
 import struct
 from typing import List, Tuple
 
+import numpy as np
+
 from ...errors import EncodingError
 
 __all__ = ["LZ77Codec"]
 
 _TOKEN = struct.Struct("<HBB")  # offset (u16), length (u8), next literal (u8)
+
+_TOKEN_DTYPE = np.dtype([("off", "<u2"), ("len", "u1"), ("lit", "u1")])
 
 
 class LZ77Codec:
@@ -27,21 +41,33 @@ class LZ77Codec:
     means "no match, literal only".
     """
 
-    def __init__(self, window_size: int = 4096, max_match: int = 255, min_match: int = 4) -> None:
+    def __init__(
+        self,
+        window_size: int = 4096,
+        max_match: int = 255,
+        min_match: int = 4,
+        max_candidates: int = 64,
+    ) -> None:
         if window_size <= 0 or window_size > 65535:
             raise EncodingError("window size must be in [1, 65535]")
         if not 1 <= min_match <= max_match <= 255:
             raise EncodingError("match lengths must satisfy 1 <= min <= max <= 255")
+        if max_candidates < 1:
+            raise EncodingError("max_candidates must be >= 1")
         self.window_size = window_size
         self.max_match = max_match
         self.min_match = min_match
+        self.max_candidates = max_candidates
 
     def encode(self, data: bytes) -> bytes:
         """Compress ``data`` into a token stream (prefixed with its length)."""
         raw = bytes(data)
         n = len(raw)
         tokens: List[Tuple[int, int, int]] = []
-        # Index of 3-byte prefixes -> candidate positions, for fast match search.
+        # Index of 3-byte prefixes -> candidate positions, for fast match
+        # search.  Each candidate list is pruned of positions that slid
+        # out of the window and capped at ``max_candidates``, bounding
+        # both the per-position search and the index's memory.
         prefix_index: dict = {}
         pos = 0
         while pos < n:
@@ -75,7 +101,12 @@ class LZ77Codec:
                 advance = 1
             # Register prefixes of the region we just consumed.
             for p in range(pos, min(pos + advance, n - 2)):
-                prefix_index.setdefault(raw[p : p + 3], []).append(p)
+                entries = prefix_index.setdefault(raw[p : p + 3], [])
+                entries.append(p)
+                if len(entries) > self.max_candidates:
+                    window_start = max(0, p - self.window_size)
+                    live = [q for q in entries if q >= window_start]
+                    prefix_index[raw[p : p + 3]] = live[-self.max_candidates :]
             pos += advance
         out = bytearray(struct.pack("<I", n))
         for off, length, literal in tokens:
@@ -90,16 +121,35 @@ class LZ77Codec:
         body = payload[4:]
         if len(body) % _TOKEN.size != 0:
             raise EncodingError("LZ77 payload has a partial token")
+        tokens = np.frombuffer(body, dtype=_TOKEN_DTYPE)
+        offsets = tokens["off"]
+        lengths = tokens["len"]
+        literal_bytes = tokens["lit"].tobytes()
         out = bytearray()
-        for i in range(0, len(body), _TOKEN.size):
-            off, length, literal = _TOKEN.unpack_from(body, i)
-            if off:
-                start = len(out) - off
-                if start < 0:
-                    raise EncodingError("LZ77 back-reference before start of output")
-                for j in range(length):
-                    out.append(out[start + j])
-            out.append(literal)
+        prev = 0
+        # Only match tokens need sequential handling; the literal-only
+        # tokens between them append as one slice of the literal column.
+        for i in np.flatnonzero(offsets).tolist():
+            if i > prev:
+                out += literal_bytes[prev:i]
+            off = int(offsets[i])
+            length = int(lengths[i])
+            start = len(out) - off
+            if start < 0:
+                raise EncodingError("LZ77 back-reference before start of output")
+            if length:
+                if off >= length:
+                    out += out[start : start + length]
+                else:
+                    # Overlapping match: the copy region repeats with
+                    # period ``off`` — replicate the pattern instead of
+                    # appending one byte at a time.
+                    pattern = bytes(out[start:])
+                    reps, remainder = divmod(length, off)
+                    out += pattern * reps + pattern[:remainder]
+            out += literal_bytes[i : i + 1]
+            prev = i + 1
+        out += literal_bytes[prev:]
         result = bytes(out[:expected_len])
         if len(result) != expected_len:
             raise EncodingError(

@@ -10,8 +10,10 @@ simulated WAN, and decompresses at the destination.
 from __future__ import annotations
 
 import abc
+import base64
 import json
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -229,6 +231,8 @@ class CompressedBlob:
         self.error_bound_abs = float(error_bound_abs)
         self.container = container
         self.metadata = dict(metadata or {})
+        #: Memoised (encoded header value, decoded bytes) shared codebook.
+        self._codebook_cache: Optional[Tuple[str, bytes]] = None
 
     @property
     def num_elements(self) -> int:
@@ -326,6 +330,52 @@ class CompressedBlob:
             if int(entry["id"]) == int(block_id):
                 return dict(entry)
         raise EncodingError(f"blob has no block {block_id}")
+
+    @property
+    def shared_codebook_bytes(self) -> Optional[bytes]:
+        """The file-wide entropy codebook, when the blob stores one.
+
+        Blocked blobs written in shared-codebook mode serialise the
+        Huffman codebook **once**, base64-encoded in the blob header,
+        instead of once per ``block:<id>`` section.  Returns ``None`` for
+        per-block-codebook (PR 1–2 era) and whole-array blobs.  The
+        header travels with :meth:`export_block` messages, so streamed
+        blocks stay independently decodable at the destination.
+        """
+        encoded = self.container.header.get("shared_codebook")
+        if not encoded:
+            return None
+        # Memoised against the header value: blocked decompression reads
+        # this once per block, and re-running base64+zlib per block would
+        # put redundant work on the parallel decode path.
+        cached = self._codebook_cache
+        if cached is not None and cached[0] == encoded:
+            return cached[1]
+        try:
+            decoded = zlib.decompress(base64.b64decode(encoded))
+        except (ValueError, TypeError, zlib.error) as exc:
+            raise EncodingError("corrupt shared codebook in blob header") from exc
+        self._codebook_cache = (encoded, decoded)
+        return decoded
+
+    @property
+    def codebook_mode(self) -> str:
+        """``"shared"``, ``"per-block"``, or ``"none"`` (debugging/inspect aid).
+
+        ``"per-block"`` is reported when any block's index entry records a
+        block-local codebook; blobs that never ran an entropy stage (or
+        predate codebook tracking without one) report ``"none"``.
+        """
+        if self.container.header.get("shared_codebook"):
+            return "shared"
+        for entry in self.container.header.get("block_index", []):
+            if entry.get("codebook") == "block":
+                return "per-block"
+        # Blobs from before per-entry codebook tracking: infer from the
+        # pipeline's recorded entropy stage.
+        if self.is_blocked and self.container.header.get("entropy_stage") == "huffman":
+            return "per-block"
+        return "none"
 
     # ------------------------------------------------------------------ #
     # Streaming: per-block wire messages and destination-side assembly

@@ -57,6 +57,7 @@ def create_blocked_compressor(
     adaptive_predictor: bool = False,
     block_executor: Optional[BlockMapper] = None,
     block_policy=None,
+    shared_codebook: Optional[bool] = None,
     **kwargs,
 ) -> Compressor:
     """Instantiate a compressor and wire up blocked-mode execution.
@@ -64,15 +65,18 @@ def create_blocked_compressor(
     Non-pipeline compressors are returned unchanged.  Pipelines always get
     the block executor (decoding a v2 blob fans out per block even when
     this side does not *produce* blocked blobs); ``block_shape`` switches
-    them into producing blocked blobs too, and ``block_policy`` (a trained
+    them into producing blocked blobs too, ``block_policy`` (a trained
     :class:`~repro.prediction.block_policy.BlockPolicy`) replaces
-    brute-force adaptive predictor selection with the learned one.  This
-    is the single place the orchestrator and CLI share for blocked-mode
-    wiring.
+    brute-force adaptive predictor selection with the learned one, and
+    ``shared_codebook`` toggles the per-file entropy codebook (``None``
+    keeps the pipeline's default of sharing).  This is the single place
+    the orchestrator and CLI share for blocked-mode wiring.
     """
     compressor = create_compressor(name, **kwargs)
     if isinstance(compressor, PredictionPipelineCompressor):
-        compressor.configure_blocks(block_executor=block_executor)
+        compressor.configure_blocks(
+            block_executor=block_executor, shared_codebook=shared_codebook
+        )
         if block_shape:
             compressor.configure_blocks(
                 block_shape=block_shape,

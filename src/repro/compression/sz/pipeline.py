@@ -10,6 +10,8 @@ paper.
 
 from __future__ import annotations
 
+import base64
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -18,7 +20,12 @@ import numpy as np
 from ...errors import CompressionError, ConfigurationError
 from ...utils.logging import get_logger
 from ..blocking import BlockPlan, BlockShapeLike, BlockSpec
-from ..encoders.huffman import HuffmanCodec
+from ..encoders.huffman import (
+    MAX_CODE_LENGTH,
+    HuffmanCodebook,
+    HuffmanCodec,
+    symbol_frequencies,
+)
 from ..encoders.lossless import LosslessBackend, get_lossless_backend
 from ..interface import CompressedBlob, Compressor, SectionContainer
 from ..predictors import create_predictor
@@ -65,6 +72,7 @@ class PredictionPipelineCompressor(Compressor):
         adaptive_predictor: bool = False,
         block_executor: Optional[BlockMapper] = None,
         block_policy: Optional[Any] = None,
+        shared_codebook: bool = True,
     ) -> None:
         self.predictor = predictor
         self.config = config or PipelineConfig()
@@ -78,6 +86,11 @@ class PredictionPipelineCompressor(Compressor):
         #: adaptive mode consults it instead of brute-forcing every
         #: candidate predictor per block.
         self.block_policy = block_policy
+        #: Blocked + Huffman mode: build one codebook per *file* from the
+        #: frequencies across all blocks, store it once in the blob
+        #: header, and encode every block against it (per-block codebooks
+        #: remain the fallback for blocks whose alphabet escapes it).
+        self.shared_codebook = bool(shared_codebook)
         self._huffman = HuffmanCodec()
         self._lossless: LosslessBackend = get_lossless_backend(
             self.config.lossless_backend, **self.config.lossless_options
@@ -89,6 +102,7 @@ class PredictionPipelineCompressor(Compressor):
         adaptive_predictor: Optional[bool] = None,
         block_executor: Optional[BlockMapper] = None,
         block_policy: Optional[Any] = None,
+        shared_codebook: Optional[bool] = None,
     ) -> "PredictionPipelineCompressor":
         """Switch this pipeline into (or re-tune) blocked mode.
 
@@ -102,6 +116,8 @@ class PredictionPipelineCompressor(Compressor):
             self.block_executor = block_executor
         if block_policy is not None:
             self.block_policy = block_policy
+        if shared_codebook is not None:
+            self.shared_codebook = bool(shared_codebook)
         return self
 
     # ------------------------------------------------------------------ #
@@ -155,6 +171,7 @@ class PredictionPipelineCompressor(Compressor):
         if self.block_shape is not None:
             description["block_shape"] = self.block_shape
             description["adaptive_predictor"] = self.adaptive_predictor
+            description["shared_codebook"] = self._shared_codebook_active()
         return description
 
     # ------------------------------------------------------------------ #
@@ -231,36 +248,68 @@ class PredictionPipelineCompressor(Compressor):
         except CompressionError:
             return None
 
+    def _choose_block_encoding(
+        self, block: np.ndarray, error_bound_abs: float
+    ) -> Tuple[str, PredictorOutput, Optional[bytes]]:
+        """Pick the predictor for one block and return its encoding.
+
+        Returns ``(predictor_name, encoding, payload)`` where ``payload``
+        is the already-serialised (per-block-codebook) bytes when the
+        brute-force comparison produced them, else ``None``.
+        """
+        chosen = self._policy_predictor(block, error_bound_abs)
+        if chosen is not None:
+            return chosen.name, chosen.encode_block(block, error_bound_abs), None
+        candidates = self._candidate_predictors(block)
+        if len(candidates) == 1:
+            predictor = candidates[0]
+            return predictor.name, predictor.encode_block(block, error_bound_abs), None
+        best: Optional[Tuple[str, PredictorOutput, bytes]] = None
+        for predictor in candidates:
+            encoding = predictor.encode_block(block, error_bound_abs)
+            payload = self._lossless.compress(self._serialize_encoding(encoding))
+            if best is None or len(payload) < len(best[2]):
+                best = (predictor.name, encoding, payload)
+        assert best is not None
+        return best
+
+    def _block_entry(
+        self, spec: BlockSpec, predictor_name: str, used_shared: bool
+    ) -> Dict[str, Any]:
+        entry = spec.as_dict()
+        entry["predictor"] = predictor_name
+        entry["section"] = f"block:{spec.block_id}"
+        if self.config.entropy_stage == "huffman":
+            entry["codebook"] = "shared" if used_shared else "block"
+        return entry
+
     def encode_one_block(
-        self, arr: np.ndarray, plan: BlockPlan, spec: BlockSpec, error_bound_abs: float
+        self,
+        arr: np.ndarray,
+        plan: BlockPlan,
+        spec: BlockSpec,
+        error_bound_abs: float,
+        shared_book: Optional[HuffmanCodebook] = None,
     ) -> Tuple[Dict[str, Any], bytes]:
         """Encode a single block; returns its ``(index_entry, payload)``.
 
         This is the unit of work both the bulk blocked path and the
         streaming pipeline fan out: predictor selection (learned policy
         first, brute force otherwise), encoding, serialisation and the
-        lossless stage for one independent block.
+        lossless stage for one independent block.  With ``shared_book``
+        the block's symbols are entropy-coded against the file-wide
+        codebook; a block whose alphabet escapes it falls back to its own
+        per-block codebook (recorded in the index entry).
         """
         block = plan.extract(arr, spec)
-        chosen = self._policy_predictor(block, error_bound_abs)
-        if chosen is not None:
-            best_name = chosen.name
-            best_payload = self._lossless.compress(
-                self._serialize_encoding(chosen.encode_block(block, error_bound_abs))
-            )
-        else:
-            best_name = None
-            best_payload = None
-            for predictor in self._candidate_predictors(block):
-                encoding = predictor.encode_block(block, error_bound_abs)
-                payload = self._lossless.compress(self._serialize_encoding(encoding))
-                if best_payload is None or len(payload) < len(best_payload):
-                    best_payload = payload
-                    best_name = predictor.name
-        entry = spec.as_dict()
-        entry["predictor"] = best_name
-        entry["section"] = f"block:{spec.block_id}"
-        return entry, best_payload
+        name, encoding, payload = self._choose_block_encoding(block, error_bound_abs)
+        used_shared = False
+        if shared_book is not None:
+            inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
+            payload = self._lossless.compress(inner)
+        elif payload is None:
+            payload = self._lossless.compress(self._serialize_encoding(encoding))
+        return self._block_entry(spec, name, used_shared), payload
 
     def measure_block_encoding(
         self, block: np.ndarray, error_bound_abs: float, predictor: Predictor
@@ -280,14 +329,21 @@ class PredictionPipelineCompressor(Compressor):
         return BlockPlan.partition(np.asarray(arr).shape, self.block_shape)
 
     def blocked_header(
-        self, arr: np.ndarray, plan: BlockPlan, error_bound_abs: float
+        self,
+        arr: np.ndarray,
+        plan: BlockPlan,
+        error_bound_abs: float,
+        shared_book: Optional[HuffmanCodebook] = None,
     ) -> Dict[str, Any]:
         """Blob-level header for a v2 blob of ``arr`` (sans block index).
 
         The streaming pipeline ships this once so the destination can
-        assemble the received block sections into a valid blob.
+        assemble the received block sections into a valid blob.  The
+        shared codebook — when one is in use — rides in this header
+        (base64), so it is serialised once per file instead of once per
+        block and automatically reaches streamed-block consumers.
         """
-        return {
+        header = {
             "compressor": self.name,
             "shape": list(np.asarray(arr).shape),
             "dtype": str(np.asarray(arr).dtype),
@@ -302,14 +358,94 @@ class PredictionPipelineCompressor(Compressor):
                 "adaptive_predictor": self.adaptive_predictor,
             },
         }
+        if shared_book is not None and shared_book.lengths:
+            # zlib + base64: the (symbol, length) int64 pairs are mostly
+            # zero bytes, and unlike the per-block codebook sections this
+            # header field never passes through the lossless stage.
+            header["shared_codebook"] = base64.b64encode(
+                zlib.compress(shared_book.serialize(), 6)
+            ).decode("ascii")
+        return header
+
+    def _shared_codebook_active(self) -> bool:
+        """Whether blocked compression builds a file-wide codebook."""
+        return self.shared_codebook and self.config.entropy_stage == "huffman"
+
+    def prepare_shared_codebook(
+        self,
+        arr: np.ndarray,
+        plan: BlockPlan,
+        error_bound_abs: float,
+        max_sample_blocks: int = 8,
+    ) -> Optional[HuffmanCodebook]:
+        """Build a file-wide codebook from a *sample* of blocks.
+
+        The streaming pipeline must ship the blob header (and with it the
+        codebook) before the first block, so it cannot wait for exact
+        all-block frequencies the way the bulk path does; instead up to
+        ``max_sample_blocks`` evenly spaced blocks are quantised through
+        the pipeline's predictor and their pooled symbol frequencies seed
+        the book.  Blocks whose alphabet escapes the sampled book fall
+        back to per-block codebooks at encode time.
+        """
+        if not self._shared_codebook_active():
+            return None
+        specs = list(plan.blocks)
+        if len(specs) > max_sample_blocks:
+            picks = np.unique(
+                np.linspace(0, len(specs) - 1, max_sample_blocks).astype(int)
+            )
+            specs = [specs[i] for i in picks]
+        sampler = self.predictor
+        frequencies: Dict[int, int] = {}
+        for spec in specs:
+            block = plan.extract(arr, spec)
+            if not np.isfinite(block).all() and not isinstance(sampler, LorenzoPredictor):
+                continue  # only Lorenzo's literal escape handles non-finite data
+            encoding = sampler.encode_block(block, error_bound_abs)
+            for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
+                frequencies[sym] = frequencies.get(sym, 0) + freq
+        if not frequencies:
+            return None
+        return HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
 
     def _compress_blocked(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
         plan = BlockPlan.partition(arr.shape, self.block_shape)
-        results = self._map_blocks(
-            lambda spec: self.encode_one_block(arr, plan, spec, error_bound_abs),
-            plan.blocks,
-        )
-        header = self.blocked_header(arr, plan, error_bound_abs)
+        shared_book: Optional[HuffmanCodebook] = None
+        if self._shared_codebook_active():
+            # Phase A: choose a predictor and encode every block (in
+            # parallel), pooling exact symbol frequencies across blocks.
+            chosen = self._map_blocks(
+                lambda spec: self._choose_block_encoding(
+                    plan.extract(arr, spec), error_bound_abs
+                ),
+                plan.blocks,
+            )
+            frequencies: Dict[int, int] = {}
+            for _, encoding, _ in chosen:
+                for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
+                    frequencies[sym] = frequencies.get(sym, 0) + freq
+            if frequencies:
+                shared_book = HuffmanCodebook.from_frequencies(
+                    frequencies, max_length=MAX_CODE_LENGTH
+                )
+
+            # Phase B: serialise every block against the shared book.
+            def finish(item: Tuple[BlockSpec, Tuple[str, PredictorOutput, Any]]):
+                spec, (name, encoding, _) = item
+                inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
+                return (
+                    self._block_entry(spec, name, used_shared),
+                    self._lossless.compress(inner),
+                )
+
+            results = self._map_blocks(finish, list(zip(plan.blocks, chosen)))
+        else:
+            results = self._map_blocks(
+                lambda spec: self.encode_one_block(arr, plan, spec, error_bound_abs),
+                plan.blocks,
+            )
+        header = self.blocked_header(arr, plan, error_bound_abs, shared_book=shared_book)
         return CompressedBlob.assemble(header, list(results))
 
     def _predictor_for(self, name: str, meta: Dict[str, Any]) -> Predictor:
@@ -332,7 +468,9 @@ class PredictionPipelineCompressor(Compressor):
         """Decode one block section of ``blob`` into its reconstruction."""
         inner_bytes = backend.decompress(blob.container.get_section(entry["section"]))
         inner = SectionContainer.from_bytes(inner_bytes)
-        codes, mask, literals, aux, meta = self._deserialize_encoding(inner)
+        codes, mask, literals, aux, meta = self._deserialize_encoding(
+            inner, shared_codebook=blob.shared_codebook_bytes
+        )
         predictor = self._predictor_for(entry["predictor"], meta)
         spec = BlockSpec.from_dict(entry)
         recon = predictor.decode_block(
@@ -375,14 +513,37 @@ class PredictionPipelineCompressor(Compressor):
     # Encoding serialisation
     # ------------------------------------------------------------------ #
     def _serialize_encoding(self, encoding: PredictorOutput) -> bytes:
+        data, _ = self._serialize_encoding_ex(encoding, None)
+        return data
+
+    def _serialize_encoding_ex(
+        self, encoding: PredictorOutput, shared_book: Optional[HuffmanCodebook]
+    ) -> Tuple[bytes, bool]:
+        """Serialise one encoding; returns ``(bytes, used_shared_codebook)``.
+
+        With ``shared_book`` the symbol stream is entropy-coded against
+        the file-wide codebook and **no** ``codes_codebook`` section is
+        written — the book lives once in the blob header.  A block whose
+        alphabet escapes the shared book falls back to its own codebook.
+        """
         inner = SectionContainer(header={"predictor_meta": encoding.meta})
         codes = np.asarray(encoding.codes, dtype=np.int64)
         inner.header["num_codes"] = int(codes.size)
+        used_shared = False
         if self.config.entropy_stage == "huffman" and codes.size:
-            payload, codebook, count = self._huffman.encode(codes)
-            inner.header["huffman_count"] = count
-            inner.add_section("codes_payload", payload)
-            inner.add_section("codes_codebook", codebook)
+            payload = None
+            if shared_book is not None:
+                payload = self._huffman.encode_with_book(codes, shared_book)
+            if payload is not None:
+                used_shared = True
+                inner.header["huffman_count"] = int(codes.size)
+                inner.header["huffman_shared"] = True
+                inner.add_section("codes_payload", payload)
+            else:
+                payload, codebook, count = self._huffman.encode(codes)
+                inner.header["huffman_count"] = count
+                inner.add_section("codes_payload", payload)
+                inner.add_section("codes_codebook", codebook)
         else:
             inner.header["huffman_count"] = -1
             inner.add_array("codes_raw", self._pack_codes(codes))
@@ -393,15 +554,25 @@ class PredictionPipelineCompressor(Compressor):
         inner.header["aux_names"] = sorted(encoding.aux)
         for aux_name in sorted(encoding.aux):
             inner.add_array(f"aux_{aux_name}", np.asarray(encoding.aux[aux_name]))
-        return inner.to_bytes()
+        return inner.to_bytes(), used_shared
 
-    def _deserialize_encoding(self, inner: SectionContainer):
+    def _deserialize_encoding(
+        self, inner: SectionContainer, shared_codebook: Optional[bytes] = None
+    ):
         header = inner.header
         meta = header.get("predictor_meta", {})
         num_codes = int(header.get("num_codes", 0))
         if int(header.get("huffman_count", -1)) >= 0:
             payload = inner.get_section("codes_payload")
-            codebook = inner.get_section("codes_codebook")
+            if header.get("huffman_shared"):
+                if shared_codebook is None:
+                    raise CompressionError(
+                        "block was encoded with a shared codebook, but the "
+                        "blob header carries none"
+                    )
+                codebook = shared_codebook
+            else:
+                codebook = inner.get_section("codes_codebook")
             codes = self._huffman.decode(payload, codebook, int(header["huffman_count"]))
         else:
             codes = self._unpack_codes(inner.get_array("codes_raw"), num_codes)

@@ -56,6 +56,11 @@ class OcelotConfig:
             one file concurrently.
         adaptive_predictor: per-block SZ3-style predictor selection (try
             Lorenzo vs. interpolation per block, keep the smaller).
+        shared_codebook: in blocked Huffman mode, build one entropy
+            codebook per file (pooled across blocks) and store it once in
+            the blob header instead of once per block; blocks whose
+            alphabet escapes the shared book fall back to per-block
+            codebooks automatically.
         transfer_mode: ``bulk`` keeps the phase-serialised baseline;
             ``streamed`` ships each block as it finishes encoding and
             decodes blocks as they arrive (compressed mode only).
@@ -88,6 +93,7 @@ class OcelotConfig:
     block_size: Optional[int] = None
     block_workers: int = 1
     adaptive_predictor: bool = False
+    shared_codebook: bool = True
     transfer_mode: str = "bulk"
     stream_window: int = 8
     block_policy_path: Optional[str] = None

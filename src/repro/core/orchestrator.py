@@ -476,6 +476,7 @@ class OcelotOrchestrator:
             adaptive_predictor=self.config.adaptive_predictor,
             block_executor=self.executor.map_blocks,
             block_policy=self._load_block_policy(),
+            shared_codebook=self.config.shared_codebook,
         )
 
     def _compress_files(

@@ -356,10 +356,19 @@ class StreamingPipeline:
             and compressor.block_shape is not None
         ):
             block_plan = compressor.block_plan(arr)
-            header = compressor.blocked_header(arr, block_plan, eb_abs)
+            # The blob header ships before the first block, so the shared
+            # codebook is seeded from a sample of blocks rather than the
+            # exact all-block frequencies the bulk path pools; blocks
+            # whose alphabet escapes it fall back to per-block codebooks.
+            shared_book = compressor.prepare_shared_codebook(arr, block_plan, eb_abs)
+            header = compressor.blocked_header(
+                arr, block_plan, eb_abs, shared_book=shared_book
+            )
             for spec in block_plan:
                 start = time.perf_counter()
-                entry, payload = compressor.encode_one_block(arr, block_plan, spec, eb_abs)
+                entry, payload = compressor.encode_one_block(
+                    arr, block_plan, spec, eb_abs, shared_book=shared_book
+                )
                 elapsed = time.perf_counter() - start
                 yield entry, payload, elapsed, header
         else:

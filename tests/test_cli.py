@@ -118,8 +118,12 @@ class TestCommands:
         assert payload["is_blocked"] is True
         assert len(payload["blocks"]) == payload["num_blocks"] == result.blob.num_blocks
         first = payload["blocks"][0]
-        assert set(first) == {"id", "origin", "shape", "predictor", "section", "section_bytes"}
+        assert set(first) == {
+            "id", "origin", "shape", "predictor", "codebook", "section", "section_bytes",
+        }
         assert first["section_bytes"] > 0
+        # sz3-fast runs no entropy stage, so there is no codebook to report.
+        assert payload["codebook"]["mode"] == "none"
 
     def test_inspect_whole_array_blob(self, tmp_path, capsys):
         from repro.compression import ErrorBound, create_compressor

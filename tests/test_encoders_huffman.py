@@ -4,11 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.compression.encoders.huffman import (
+    MAX_CODE_LENGTH,
     HuffmanCodebook,
     HuffmanCodec,
     huffman_code_lengths,
+    length_limited_code_lengths,
+    symbol_frequencies,
 )
 from repro.errors import EncodingError
 
@@ -111,13 +116,16 @@ class TestCodec:
         assert count == 0
         assert codec.decode(payload, book, 0).size == 0
 
-    def test_estimate_matches_actual_payload(self):
+    def test_estimate_matches_payload_plus_codebook(self):
+        # The estimate includes the serialized codebook: adaptive per-block
+        # predictor selection compares serialized sizes, and ignoring the
+        # codebook would bias the choice toward high-alphabet encodings.
         rng = np.random.default_rng(3)
         symbols = rng.integers(-10, 10, 2000)
         codec = HuffmanCodec()
         estimate = codec.estimate_encoded_bytes(symbols)
-        actual = len(codec.encode(symbols)[0])
-        assert abs(estimate - actual) <= 1
+        payload, codebook, _ = codec.encode(symbols)
+        assert abs(estimate - (len(payload) + len(codebook))) <= 1
 
     def test_decode_with_truncated_payload_raises(self):
         codec = HuffmanCodec()
@@ -125,3 +133,161 @@ class TestCodec:
         payload, book, count = codec.encode(symbols)
         with pytest.raises(EncodingError):
             codec.decode(payload[: len(payload) // 4], book, count)
+
+
+def _fibonacci_frequencies(n: int) -> dict:
+    """Frequencies whose exact Huffman tree is a depth-(n-1) vine."""
+    a, b = 1, 1
+    freqs = {}
+    for sym in range(n):
+        freqs[sym] = a
+        a, b = b, a + b
+    return freqs
+
+
+class TestLengthLimiting:
+    def test_fibonacci_exceeds_cap_unlimited(self):
+        lengths = huffman_code_lengths(_fibonacci_frequencies(30))
+        assert max(lengths.values()) > MAX_CODE_LENGTH
+
+    def test_limited_lengths_respect_cap_and_kraft(self):
+        freqs = _fibonacci_frequencies(30)
+        lengths = length_limited_code_lengths(freqs, MAX_CODE_LENGTH)
+        assert set(lengths) == set(freqs)
+        assert max(lengths.values()) <= MAX_CODE_LENGTH
+        assert min(lengths.values()) >= 1
+        assert sum(2.0 ** -length for length in lengths.values()) <= 1.0 + 1e-9
+
+    def test_limited_equals_exact_when_under_cap(self):
+        freqs = {i: 10 + i for i in range(12)}
+        assert length_limited_code_lengths(freqs, 16) == huffman_code_lengths(freqs)
+
+    def test_cap_rises_for_huge_alphabets(self):
+        # ceil(log2(5000)) = 13 > 8: a prefix code cannot exist at cap 8,
+        # so the limiter must raise the cap instead of producing garbage.
+        freqs = {i: 1 for i in range(5000)}
+        lengths = length_limited_code_lengths(freqs, 8)
+        assert max(lengths.values()) <= 13
+        assert sum(2.0 ** -length for length in lengths.values()) <= 1.0 + 1e-9
+
+    def test_adversarial_skew_round_trips_through_length_cap(self):
+        # Symbols drawn with Fibonacci-like skew: the unlimited tree is
+        # deeper than the cap, so this proves length-limiting preserves
+        # the round trip.
+        freqs = _fibonacci_frequencies(30)
+        rng = np.random.default_rng(7)
+        population = np.array(sorted(freqs))
+        weights = np.array([freqs[s] for s in population], dtype=np.float64)
+        symbols = rng.choice(population, size=20000, p=weights / weights.sum())
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(symbols)
+        restored = HuffmanCodebook.deserialize(book)
+        assert restored.max_length() <= MAX_CODE_LENGTH
+        np.testing.assert_array_equal(codec.decode(payload, book, count), symbols)
+
+
+class TestLutPath:
+    def test_single_symbol_stream_through_lut(self):
+        codec = HuffmanCodec()
+        symbols = np.full(257, -9)
+        payload, book, count = codec.encode(symbols)
+        assert len(payload) > 0  # 1 bit per symbol, genuinely in the stream
+        np.testing.assert_array_equal(codec.decode(payload, book, count), symbols)
+
+    def test_empty_stream_through_lut(self):
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(np.array([], dtype=np.int64))
+        assert count == 0
+        assert codec.decode(payload, book, 0).size == 0
+
+    def test_multi_emit_path_round_trips(self):
+        # Streams past the multi-emit threshold take the grouped-window
+        # walk; heavily skewed data maximises symbols emitted per probe.
+        rng = np.random.default_rng(11)
+        symbols = np.where(
+            rng.uniform(size=70000) < 0.93, 0, rng.integers(-6, 6, 70000)
+        ).astype(np.int64)
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(symbols)
+        np.testing.assert_array_equal(codec.decode(payload, book, count), symbols)
+
+    def test_multi_emit_truncated_payload_raises(self):
+        rng = np.random.default_rng(13)
+        symbols = rng.integers(-40, 40, 70000)
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(symbols)
+        with pytest.raises(EncodingError):
+            codec.decode(payload[: len(payload) // 3], book, count)
+
+    def test_legacy_unlimited_codebook_falls_back_to_bitloop(self):
+        # A codebook serialized from unlimited lengths (the seed encoder's
+        # output for adversarial skew) exceeds the LUT budget; decode must
+        # still work via the retained bit-loop path.
+        freqs = _fibonacci_frequencies(35)
+        book = HuffmanCodebook.from_frequencies(freqs)  # unlimited lengths
+        assert book.max_length() > 20
+        rng = np.random.default_rng(3)
+        symbols = rng.choice(np.array(sorted(freqs)), size=500)
+        codes, lens = book.lookup(np.asarray(symbols, dtype=np.int64))
+        from repro.compression.encoders.huffman import _pack_codes
+
+        payload = _pack_codes(codes, lens)
+        decoded = HuffmanCodec().decode(payload, book.serialize(), symbols.size)
+        np.testing.assert_array_equal(decoded, symbols)
+
+
+class TestSharedBookEncoding:
+    def test_encode_with_book_matches_own_book(self):
+        rng = np.random.default_rng(5)
+        symbols = rng.integers(-30, 30, 5000)
+        codec = HuffmanCodec()
+        payload, book_bytes, count = codec.encode(symbols)
+        book = HuffmanCodebook.deserialize(book_bytes)
+        assert codec.encode_with_book(symbols, book) == payload
+
+    def test_encode_with_book_escapes_unknown_symbols(self):
+        codec = HuffmanCodec()
+        book = HuffmanCodebook.from_frequencies({0: 10, 1: 5, 2: 5})
+        assert codec.encode_with_book(np.array([0, 1, 99]), book) is None
+        assert codec.encode_with_book(np.array([-1, 0]), book) is None
+
+    def test_symbol_frequencies_matches_unique(self):
+        rng = np.random.default_rng(9)
+        arr = rng.integers(-1000, 1000, 30000)
+        uniques, counts = np.unique(arr, return_counts=True)
+        assert symbol_frequencies(arr) == {
+            int(s): int(c) for s, c in zip(uniques, counts)
+        }
+
+
+class TestOldVsNewEquivalence:
+    """Property fuzz: the LUT decoder == the seed per-bit decoder."""
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        symbols=st.lists(st.integers(min_value=-500, max_value=500), min_size=1, max_size=400),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_decode_equivalence_over_random_alphabets(self, symbols, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.choice(np.array(symbols, dtype=np.int64), size=len(symbols) * 3)
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(arr)
+        lut = codec.decode(payload, book, count)
+        bitloop = codec.decode_bitloop(payload, book, count)
+        np.testing.assert_array_equal(lut, bitloop)
+        np.testing.assert_array_equal(lut, arr)
+
+
+class TestWideAlphabets:
+    def test_wide_span_alphabet_uses_sparse_lookup(self):
+        # The value span is too wide for dense bincount/lookup tables;
+        # the unique/searchsorted fallbacks must keep the round trip.
+        rng = np.random.default_rng(17)
+        symbols = rng.choice(np.array([0, 7, 10**9, -(10**12), 55]), size=4000)
+        codec = HuffmanCodec()
+        payload, book, count = codec.encode(symbols)
+        np.testing.assert_array_equal(codec.decode(payload, book, count), symbols)
+        np.testing.assert_array_equal(
+            codec.decode_bitloop(payload, book, count), symbols
+        )

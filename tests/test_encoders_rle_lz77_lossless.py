@@ -99,6 +99,46 @@ class TestLZ77:
         with pytest.raises(EncodingError):
             LZ77Codec().decode(b"\x01")
 
+    def test_overlapping_match_round_trip(self):
+        # offset < length exercises the pattern-replication decode branch
+        # (the RLE case the old decoder copied one byte at a time).
+        codec = LZ77Codec()
+        for period in (1, 2, 3, 7):
+            data = bytes(range(period)) * 500 + b"tail"
+            assert codec.decode(codec.encode(data)) == data
+
+    def test_match_to_end_of_input_round_trip(self):
+        codec = LZ77Codec()
+        data = b"prefix--" + b"ab" * 40  # match runs to the very end
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_literal_runs_round_trip(self):
+        # Long stretches of match-free data take the bulk literal-copy path.
+        rng = np.random.default_rng(5)
+        data = bytes(rng.integers(0, 256, 5000, dtype=np.uint8))
+        codec = LZ77Codec()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_prefix_index_is_bounded(self):
+        # A degenerate input maps every position to the same 3-gram; the
+        # candidate lists must stay capped instead of growing with n.
+        codec = LZ77Codec(max_candidates=16)
+        data = b"a" * 50000
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_invalid_max_candidates_raises(self):
+        with pytest.raises(EncodingError):
+            LZ77Codec(max_candidates=0)
+
+    def test_bounded_candidates_preserve_round_trip(self):
+        rng = np.random.default_rng(6)
+        chunks = [bytes(rng.integers(0, 4, 64, dtype=np.uint8)) for _ in range(40)]
+        data = b"".join(chunks * 3)
+        tight = LZ77Codec(max_candidates=2)
+        loose = LZ77Codec(max_candidates=256)
+        assert tight.decode(tight.encode(data)) == data
+        assert loose.decode(loose.encode(data)) == data
+
 
 class TestLosslessBackends:
     @pytest.mark.parametrize("name", ["deflate", "raw", "lz77"])

@@ -1,0 +1,290 @@
+"""Shared per-file codebook tests.
+
+Blocked Huffman pipelines build one entropy codebook per file, store it
+once in the blob header, and encode every block against it.  These tests
+pin the on-the-wire guarantees: round trips through ``decompress``,
+random-access ``decompress_block`` and the streaming ``assemble`` path;
+the per-block fallback when a block's alphabet escapes the shared book;
+size wins over the per-block layout; and unchanged decodability of
+per-block-codebook blobs from earlier revisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BlockPlan,
+    CompressedBlob,
+    ErrorBound,
+    create_blocked_compressor,
+    create_compressor,
+)
+from repro.compression.encoders.huffman import HuffmanCodebook
+from repro.core import Ocelot, OcelotConfig
+from repro.datasets import generate_application
+from repro.errors import CompressionError
+
+BOUND = ErrorBound(value=1e-3, mode="abs")
+
+
+def _field(shape=(96, 80), seed=0) -> np.ndarray:
+    x = np.linspace(0, 4 * np.pi, shape[0])
+    y = np.linspace(0, 3 * np.pi, shape[1])
+    base = np.sin(x)[:, None] * np.cos(y)[None, :]
+    noise = np.random.default_rng(seed).normal(0, 0.01, shape)
+    return (base + noise).astype(np.float32)
+
+
+def _shared_pipeline(name="sz3", block_shape=32):
+    return create_compressor(name).configure_blocks(
+        block_shape=block_shape, shared_codebook=True
+    )
+
+
+class TestSharedRoundTrips:
+    @pytest.mark.parametrize("name", ["sz2", "sz3", "sz3-linear", "sz-lorenzo"])
+    def test_decompress_round_trip(self, name):
+        data = _field()
+        blob = _shared_pipeline(name).compress(data, BOUND).blob
+        assert blob.codebook_mode == "shared"
+        assert blob.shared_codebook_bytes is not None
+        parsed = CompressedBlob.from_bytes(blob.to_bytes())
+        recon = create_compressor(name).decompress(parsed)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3 * 1.01
+
+    def test_shared_codebook_deserializes_to_valid_book(self):
+        blob = _shared_pipeline().compress(_field(), BOUND).blob
+        book = HuffmanCodebook.deserialize(blob.shared_codebook_bytes)
+        assert book.lengths
+        assert book.max_length() <= 16
+
+    def test_random_access_block_decode(self):
+        data = _field()
+        payload = _shared_pipeline().compress(data, BOUND).blob.to_bytes()
+        full = create_compressor("sz3").decompress(CompressedBlob.from_bytes(payload))
+        plan = BlockPlan.partition(data.shape, 32)
+        decoder = create_compressor("sz3")
+        for spec in plan:
+            lazy = CompressedBlob.from_bytes(payload, lazy=True)
+            block = decoder.decompress_block(lazy, spec.block_id)
+            np.testing.assert_array_equal(block, full[spec.slices()])
+
+    def test_random_access_stays_lazy(self):
+        payload = _shared_pipeline().compress(_field(), BOUND).blob.to_bytes()
+        blob = CompressedBlob.from_bytes(payload, lazy=True)
+        target = blob.num_blocks - 1
+        create_compressor("sz3").decompress_block(blob, target)
+        # The shared codebook lives in the header; decoding one block must
+        # not have materialised any other block's section.
+        assert blob.container.loaded_section_names() == [f"block:{target}"]
+
+    def test_export_parse_assemble_round_trip(self):
+        data = _field()
+        source = _shared_pipeline().compress(data, BOUND).blob
+        header = None
+        received = []
+        for message in reversed(
+            [source.export_block(i) for i in range(source.num_blocks)]
+        ):
+            blob_header, entry, payload = CompressedBlob.parse_block(message)
+            header = header or blob_header
+            received.append((entry, payload))
+        assembled = CompressedBlob.assemble(header, received)
+        assert assembled.codebook_mode == "shared"
+        assert assembled.to_bytes() == source.to_bytes()
+        recon = create_compressor("sz3").decompress(assembled)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3 * 1.01
+
+
+class TestFallbackAndCompat:
+    def test_per_block_blobs_remain_decodable(self):
+        # A blob written with per-block codebooks (the PR 1-2 layout) must
+        # decode through a shared-default pipeline unchanged.
+        data = _field()
+        legacy = (
+            create_compressor("sz3")
+            .configure_blocks(block_shape=32, shared_codebook=False)
+            .compress(data, BOUND)
+            .blob
+        )
+        assert legacy.codebook_mode == "per-block"
+        assert legacy.shared_codebook_bytes is None
+        recon = create_compressor("sz3").decompress(
+            CompressedBlob.from_bytes(legacy.to_bytes())
+        )
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3 * 1.01
+
+    def test_escaped_block_falls_back_to_own_codebook(self):
+        # A shared book covering only symbol 0 cannot encode real blocks:
+        # every block must fall back to its per-block codebook and still
+        # round-trip.
+        data = _field()
+        pipeline = _shared_pipeline()
+        plan = pipeline.block_plan(data)
+        tiny_book = HuffmanCodebook.from_frequencies({0: 1})
+        results = [
+            pipeline.encode_one_block(data, plan, spec, 1e-3, shared_book=tiny_book)
+            for spec in plan
+        ]
+        assert all(entry["codebook"] == "block" for entry, _ in results)
+        header = pipeline.blocked_header(data, plan, 1e-3, shared_book=tiny_book)
+        blob = CompressedBlob.assemble(header, results)
+        recon = create_compressor("sz3").decompress(
+            CompressedBlob.from_bytes(blob.to_bytes())
+        )
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3 * 1.01
+
+    def test_mixed_blob_records_codebook_per_entry(self):
+        blob = _shared_pipeline().compress(_field(), BOUND).blob
+        assert all(entry["codebook"] == "shared" for entry in blob.block_index)
+
+    def test_missing_shared_book_fails_loudly(self):
+        blob = _shared_pipeline().compress(_field(), BOUND).blob
+        parsed = CompressedBlob.from_bytes(blob.to_bytes())
+        del parsed.container.header["shared_codebook"]
+        with pytest.raises(CompressionError):
+            create_compressor("sz3").decompress(parsed)
+
+    def test_shared_blob_is_smaller(self):
+        data = _field((128, 128))
+        shared = _shared_pipeline(block_shape=16).compress(data, BOUND).blob
+        per_block = (
+            create_compressor("sz3")
+            .configure_blocks(block_shape=16, shared_codebook=False)
+            .compress(data, BOUND)
+            .blob
+        )
+        assert shared.nbytes < per_block.nbytes
+
+
+class TestStreamingSharedCodebook:
+    def test_sampled_book_prepared_for_streaming(self):
+        data = _field()
+        pipeline = _shared_pipeline()
+        plan = pipeline.block_plan(data)
+        book = pipeline.prepare_shared_codebook(data, plan, 1e-3, max_sample_blocks=3)
+        assert book is not None and book.lengths
+        # Stream-encode each block against the sampled book and assemble
+        # at the "destination".
+        header = pipeline.blocked_header(data, plan, 1e-3, shared_book=book)
+        results = [
+            pipeline.encode_one_block(data, plan, spec, 1e-3, shared_book=book)
+            for spec in plan
+        ]
+        blob = CompressedBlob.assemble(header, results)
+        recon = create_compressor("sz3").decompress(blob)
+        assert np.abs(data.astype(np.float64) - recon.astype(np.float64)).max() <= 1e-3 * 1.01
+
+    def test_streamed_transfer_mode_round_trips(self):
+        dataset = generate_application("cesm", snapshots=1, scale=0.03)
+        config = OcelotConfig(
+            compressor="sz3",
+            block_size=24,
+            transfer_mode="streamed",
+            shared_codebook=True,
+        )
+        report = Ocelot(config).transfer_dataset(
+            dataset, "anvil", "cori", mode="compressed"
+        )
+        assert report.measured_psnr_db is None or report.measured_psnr_db > 40
+
+    def test_no_book_for_entropy_none_pipelines(self):
+        data = _field()
+        pipeline = create_compressor("sz3-fast").configure_blocks(block_shape=32)
+        plan = pipeline.block_plan(data)
+        assert pipeline.prepare_shared_codebook(data, plan, 1e-3) is None
+        blob = pipeline.compress(data, BOUND).blob
+        assert blob.codebook_mode == "none"
+
+
+class TestKnobWiring:
+    def test_registry_knob_disables_sharing(self):
+        compressor = create_blocked_compressor(
+            "sz3", block_shape=32, shared_codebook=False
+        )
+        blob = compressor.compress(_field(), BOUND).blob
+        assert blob.codebook_mode == "per-block"
+
+    def test_describe_reports_shared_codebook(self):
+        assert _shared_pipeline().describe()["shared_codebook"] is True
+        fast = create_compressor("sz3-fast").configure_blocks(block_shape=16)
+        assert fast.describe()["shared_codebook"] is False
+
+    def test_cli_codebook_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "field.npy"
+        np.save(path, _field((48, 48)))
+        for choice, expected in [("shared", "shared"), ("per-block", "per-block")]:
+            code = main([
+                "compress", "--input", str(path), "--compressor", "sz3",
+                "--block-size", "16", "--codebook", choice, "--json",
+            ])
+            assert code == 0
+            assert json.loads(capsys.readouterr().out)["num_blocks"] == 9
+
+
+class TestInspectCodebook:
+    def test_inspect_reports_shared_codebook(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        blob = _shared_pipeline().compress(_field(), BOUND).blob
+        path = tmp_path / "shared.sz"
+        path.write_bytes(blob.to_bytes())
+        assert main(["inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["codebook"]["mode"] == "shared"
+        assert payload["codebook"]["codebook_bytes"] > 0
+        assert payload["blocks"][0]["codebook"] == "shared"
+
+    def test_inspect_reports_per_block_codebooks(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        blob = (
+            create_compressor("sz3")
+            .configure_blocks(block_shape=32, shared_codebook=False)
+            .compress(_field(), BOUND)
+            .blob
+        )
+        path = tmp_path / "perblock.sz"
+        path.write_bytes(blob.to_bytes())
+        assert main(["inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["codebook"]["mode"] == "per-block"
+        assert payload["codebook"]["codebook_bytes"] > 0
+        assert payload["codebook"]["blocks_with_own_codebook"] == len(payload["blocks"])
+
+    def test_inspect_counts_fallback_codebooks_in_shared_mode(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        # Every block escapes this degenerate shared book, so the blob is
+        # "shared" by header but all blocks carry their own codebook; the
+        # summary must count those, not just the header book.
+        data = _field()
+        pipeline = _shared_pipeline()
+        plan = pipeline.block_plan(data)
+        tiny_book = HuffmanCodebook.from_frequencies({0: 1})
+        results = [
+            pipeline.encode_one_block(data, plan, spec, 1e-3, shared_book=tiny_book)
+            for spec in plan
+        ]
+        header = pipeline.blocked_header(data, plan, 1e-3, shared_book=tiny_book)
+        blob = CompressedBlob.assemble(header, results)
+        path = tmp_path / "mixed.sz"
+        path.write_bytes(blob.to_bytes())
+        assert main(["inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["codebook"]["mode"] == "shared"
+        assert payload["codebook"]["blocks_with_own_codebook"] == len(payload["blocks"])
+        # header book (16 bytes raw) plus every block's own codebook
+        assert payload["codebook"]["codebook_bytes"] > 16
