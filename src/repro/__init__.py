@@ -52,6 +52,11 @@ __all__ = [
     "Ocelot",
     "OcelotConfig",
     "TransferReport",
+    "OcelotService",
+    "TransferSpec",
+    "JobHandle",
+    "JobStatus",
+    "JobEvent",
     "ReproError",
     "ConfigurationError",
     "CompressionError",
@@ -62,10 +67,12 @@ __all__ = [
     "ModelNotFittedError",
 ]
 
-# The heavyweight Ocelot facade is imported lazily (PEP 562) so that the
-# compression / ML / dataset subpackages can be used standalone without
-# paying the import cost of the orchestration layers.
+# The heavyweight Ocelot facade and the job service are imported lazily
+# (PEP 562) so that the compression / ML / dataset subpackages can be
+# used standalone without paying the import cost of the orchestration
+# layers.
 _LAZY_CORE_EXPORTS = {"Ocelot", "OcelotConfig", "TransferReport"}
+_LAZY_SERVICE_EXPORTS = {"OcelotService", "TransferSpec", "JobHandle", "JobStatus", "JobEvent"}
 
 
 def __getattr__(name: str) -> Any:
@@ -73,4 +80,8 @@ def __getattr__(name: str) -> Any:
         from . import core
 
         return getattr(core, name)
+    if name in _LAZY_SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

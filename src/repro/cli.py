@@ -14,6 +14,12 @@ Subcommands mirror the user-facing capabilities of the paper:
   block index (debugging aid for streamed blobs).
 * ``ocelot train-policy`` — train the learned per-block predictor
   selection policy and write it to a JSON file.
+* ``ocelot submit`` — submit one or many datasets as concurrent jobs to
+  the multi-tenant job service, print per-job makespans and the
+  combined makespan, and persist the job records to a state file.
+* ``ocelot jobs`` — list jobs recorded in the state file.
+* ``ocelot status <job>`` — show one job's record, including its
+  structured event feed.
 """
 
 from __future__ import annotations
@@ -123,6 +129,43 @@ def build_parser() -> argparse.ArgumentParser:
     train_policy.add_argument("--block-size", type=_positive_int, default=32)
     train_policy.add_argument("--output", required=True, help="path for the policy JSON")
     train_policy.add_argument("--json", action="store_true")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one or many datasets as concurrent jobs to the job service",
+    )
+    submit.add_argument("--application", nargs="+", default=["cesm"],
+                        choices=application_names(),
+                        help="one or more applications; each becomes its own job")
+    submit.add_argument("--copies", type=_positive_int, default=1,
+                        help="submit each dataset this many times (multi-tenant load)")
+    submit.add_argument("--source", default="anvil")
+    submit.add_argument("--destination", default="cori")
+    submit.add_argument("--mode", default="compressed",
+                        choices=["direct", "compressed", "grouped"])
+    submit.add_argument("--compressor", default="sz3-fast", choices=available_compressors())
+    submit.add_argument("--error-bound", type=float, default=1e-3)
+    submit.add_argument("--snapshots", type=int, default=1)
+    submit.add_argument("--scale", type=float, default=0.03)
+    submit.add_argument("--size-scale", type=float, default=1.0)
+    submit.add_argument("--compression-nodes", type=_positive_int, default=4,
+                        help="nodes each job requests for compression (small "
+                             "requests let concurrent jobs overlap on the partition)")
+    submit.add_argument("--decompression-nodes", type=_positive_int, default=4)
+    submit.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH",
+                        help="job-state file shared by submit/jobs/status")
+    submit.add_argument("--events", action="store_true",
+                        help="print each job's structured event feed")
+    submit.add_argument("--json", action="store_true")
+
+    jobs = sub.add_parser("jobs", help="list jobs recorded in the state file")
+    jobs.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH")
+    jobs.add_argument("--json", action="store_true")
+
+    status = sub.add_parser("status", help="show one recorded job (with events)")
+    status.add_argument("job", help="job id, e.g. job-0001")
+    status.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH")
+    status.add_argument("--json", action="store_true")
     return parser
 
 
@@ -416,6 +459,144 @@ def _cmd_train_policy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_job_state(path: str) -> dict:
+    """Read the job-state file (empty scaffold when missing)."""
+    import os
+
+    if not os.path.exists(path):
+        return {"jobs": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _save_job_state(path: str, state: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2)
+        handle.write("\n")
+
+
+def _job_row(record: dict) -> str:
+    makespan = record.get("makespan_s")
+    report = record.get("report") or {}
+    return (
+        f"{record['job_id']:>10s} {record.get('status', ''):>10s}"
+        f" {record.get('dataset', ''):>10s}"
+        f" {record.get('source', '')}->{record.get('destination', ''):<8s}"
+        f" {record.get('mode') or 'config':>10s}"
+        f" {format_duration(makespan) if makespan is not None else '-':>10s}"
+        f" {report.get('compression_ratio', 0) or 0:>7.2f}x"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import OcelotService, TransferSpec
+
+    config = OcelotConfig(
+        error_bound=args.error_bound,
+        compressor=args.compressor,
+        mode=args.mode,
+        size_scale=args.size_scale,
+        compression_nodes=args.compression_nodes,
+        decompression_nodes=args.decompression_nodes,
+        sentinel_enabled=False,
+    )
+    state = _load_job_state(args.state)
+    service = OcelotService(config, first_job_number=len(state["jobs"]) + 1)
+    handles = []
+    for app in args.application:
+        dataset = generate_application(app, snapshots=args.snapshots, scale=args.scale)
+        for copy in range(args.copies):
+            handles.append(
+                service.submit(
+                    TransferSpec(
+                        dataset=dataset,
+                        source=args.source,
+                        destination=args.destination,
+                        mode=args.mode,
+                        label=f"{app}#{copy}" if args.copies > 1 else app,
+                    )
+                )
+            )
+    service.run_pending()
+    records = [handle.as_dict() for handle in handles]
+    state["jobs"].extend(records)
+    state["combined_makespan_s"] = service.makespan_s
+    _save_job_state(args.state, state)
+    if args.json:
+        json.dump(
+            {"jobs": records, "combined_makespan_s": service.makespan_s},
+            sys.stdout,
+            indent=2,
+        )
+        print()
+        return 0
+    print(f"{'job':>10s} {'status':>10s} {'dataset':>10s} {'route':>15s}"
+          f" {'mode':>10s} {'makespan':>10s} {'ratio':>8s}")
+    for record in records:
+        print(_job_row(record))
+    total = sum(r.get("makespan_s") or 0.0 for r in records)
+    print(f"combined makespan: {format_duration(service.makespan_s)}"
+          f"  (serial sum would be {format_duration(total)})")
+    if args.events:
+        for record in records:
+            print(f"\nevents for {record['job_id']}:")
+            for event in record.get("events", []):
+                phase = f" {event['phase']}" if event.get("phase") else ""
+                print(f"  [{event['time_s']:10.2f}s] {event['kind']}{phase}")
+    print(f"job records written to {args.state}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    state = _load_job_state(args.state)
+    if args.json:
+        json.dump(state, sys.stdout, indent=2)
+        print()
+        return 0
+    if not state["jobs"]:
+        print(f"no jobs recorded in {args.state}")
+        return 0
+    print(f"{'job':>10s} {'status':>10s} {'dataset':>10s} {'route':>15s}"
+          f" {'mode':>10s} {'makespan':>10s} {'ratio':>8s}")
+    for record in state["jobs"]:
+        print(_job_row(record))
+    if "combined_makespan_s" in state:
+        print(f"combined makespan (last batch): "
+              f"{format_duration(state['combined_makespan_s'])}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    state = _load_job_state(args.state)
+    record = next((r for r in state["jobs"] if r["job_id"] == args.job), None)
+    if record is None:
+        print(f"unknown job {args.job!r}; recorded jobs: "
+              f"{[r['job_id'] for r in state['jobs']]}", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(record, sys.stdout, indent=2)
+        print()
+        return 0
+    print(_job_row(record))
+    report = record.get("report")
+    if report:
+        timings = report.get("timings", {})
+        print(f"  phases: wait {format_duration(timings.get('node_wait_s', 0))}"
+              f" | compress {format_duration(timings.get('compression_s', 0))}"
+              f" | transfer {format_duration(timings.get('transfer_s', 0))}"
+              f" | decompress {format_duration(timings.get('decompression_s', 0))}")
+        print(f"  volume: {format_bytes(report.get('total_bytes', 0))}"
+              f" -> {format_bytes(report.get('transferred_bytes', 0))} on the wire"
+              f" ({report.get('compression_ratio', 0):.2f}x)")
+    if record.get("error"):
+        print(f"  error: {record['error']}")
+    print("  events:")
+    for event in record.get("events", []):
+        phase = f" {event['phase']}" if event.get("phase") else ""
+        print(f"    [{event['time_s']:10.2f}s] {event['kind']}{phase}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "predict": _cmd_predict,
@@ -423,6 +604,9 @@ _COMMANDS = {
     "transfer": _cmd_transfer,
     "inspect": _cmd_inspect,
     "train-policy": _cmd_train_policy,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "status": _cmd_status,
 }
 
 

@@ -7,6 +7,7 @@ from .grouping import FileGrouper, GroupFile, GroupingPlan, GroupMember
 from .ocelot import Ocelot
 from .orchestrator import OcelotOrchestrator, StagedFile
 from .parallel import MakespanEstimate, ParallelCostModel, ParallelExecutor
+from .phases import PhaseStep
 from .planner import CompressionPlan, CompressionPlanner
 from .reporting import ModeComparison, PhaseTimings, TransferReport
 from .sentinel import Sentinel, SentinelDecision
@@ -17,6 +18,7 @@ __all__ = [
     "OcelotConfig",
     "OcelotOrchestrator",
     "StagedFile",
+    "PhaseStep",
     "CompressionPlan",
     "CompressionPlanner",
     "ParallelExecutor",

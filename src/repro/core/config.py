@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -149,6 +150,22 @@ class OcelotConfig:
                 raise ConfigurationError(f"{name} must be positive")
         # Validate the error-bound mode eagerly.
         ErrorBoundMode.parse(self.error_bound_mode)
+
+    def with_overrides(self, **overrides) -> "OcelotConfig":
+        """Return a copy of this configuration with ``overrides`` applied.
+
+        Unknown field names raise :class:`ConfigurationError` instead of
+        silently creating attributes, and the copy is re-validated, so a
+        per-job override that produces an inconsistent configuration
+        fails at request time rather than deep inside a run.
+        """
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown OcelotConfig override(s) {unknown}; valid fields: {sorted(valid)}"
+            )
+        return dataclasses.replace(self, **overrides)
 
     def resolved_error_bound(self) -> ErrorBound:
         """Return the configured error bound as an :class:`ErrorBound`."""

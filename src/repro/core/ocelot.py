@@ -13,7 +13,7 @@ bundles the three capabilities described in Section V of the paper:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from .config import OcelotConfig
 from .orchestrator import OcelotOrchestrator
 from .parallel import ParallelCostModel
 from .reporting import ModeComparison, TransferReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service import OcelotService
 
 __all__ = ["Ocelot"]
 
@@ -50,6 +53,7 @@ class Ocelot:
         )
         self._cost_model = cost_model
         self._reports: List[TransferReport] = []
+        self._service: Optional["OcelotService"] = None
         self._predict_fn_id = self.faas.register_function(
             _remote_quality_prediction, name="ocelot_quality_prediction"
         )
@@ -122,14 +126,37 @@ class Ocelot:
     # ------------------------------------------------------------------ #
     # Capability 2 + 3: compression-accelerated, remotely orchestrated transfer
     # ------------------------------------------------------------------ #
-    def _orchestrator(self) -> OcelotOrchestrator:
+    def _orchestrator_for(self, config: OcelotConfig) -> OcelotOrchestrator:
         return OcelotOrchestrator(
-            config=self.config,
+            config=config,
             testbed=self.testbed,
             faas=self.faas,
             predictor=self.predictor if self.predictor.is_fitted else None,
             cost_model=self._cost_model,
         )
+
+    def _orchestrator(self) -> OcelotOrchestrator:
+        return self._orchestrator_for(self.config)
+
+    @property
+    def service(self) -> "OcelotService":
+        """The job-oriented service behind this client.
+
+        ``transfer_dataset`` / ``compare_modes`` are submit-and-wait
+        wrappers over this service; use it directly to run many
+        concurrent jobs (``service.submit(TransferSpec(...))``) against
+        the client's testbed, FaaS substrate and trained predictor.
+        """
+        if self._service is None:
+            from ..service import OcelotService
+
+            self._service = OcelotService(
+                config=self.config,
+                testbed=self.testbed,
+                faas=self.faas,
+                orchestrator_factory=self._orchestrator_for,
+            )
+        return self._service
 
     def transfer_dataset(
         self,
@@ -138,8 +165,21 @@ class Ocelot:
         destination: str,
         mode: Optional[str] = None,
     ) -> TransferReport:
-        """Transfer a dataset, compressing according to the configuration."""
-        report = self._orchestrator().run(dataset, source, destination, mode=mode)
+        """Transfer a dataset, compressing according to the configuration.
+
+        Thin wrapper: submits one :class:`~repro.service.TransferSpec`
+        to the job service and waits for its report.
+        """
+        from ..service import TransferSpec
+
+        handle = self.service.submit(
+            TransferSpec(dataset=dataset, source=source, destination=destination, mode=mode)
+        )
+        report = handle.result()
+        # Match the legacy wrapper's retention: keep only the report, not
+        # the finished job record (sweeps would otherwise grow the
+        # service without bound).
+        self.service.discard(handle.job_id)
         self._reports.append(report)
         return report
 
@@ -152,12 +192,13 @@ class Ocelot:
     ) -> ModeComparison:
         """Run the same transfer under several modes (Table VIII protocol).
 
-        The simulation clock is reset between runs so each mode starts
-        from the same state.
+        The testbed is reset between runs — simulation clock back to
+        zero *and* per-endpoint staged files cleared — so each mode
+        starts from a truly identical state.
         """
         comparison = ModeComparison(dataset=dataset.name, source=source, destination=destination)
         for mode in modes:
-            self.testbed.clock.reset()
+            self.testbed.reset_clock()
             report = self.transfer_dataset(dataset, source, destination, mode=mode)
             comparison.add(report)
         return comparison

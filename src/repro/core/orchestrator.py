@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,12 +30,13 @@ from ..utils.stats import psnr as compute_psnr
 from .config import OcelotConfig
 from .grouping import FileGrouper
 from .parallel import ParallelCostModel, ParallelExecutor
+from .phases import PhaseStep
 from .planner import CompressionPlan, CompressionPlanner
 from .reporting import PhaseTimings, TransferReport
 from .sentinel import Sentinel
 from .streaming import StreamingPipeline
 
-__all__ = ["OcelotOrchestrator", "StagedFile"]
+__all__ = ["OcelotOrchestrator", "StagedFile", "PhaseStep"]
 
 
 @dataclass
@@ -96,6 +97,17 @@ class OcelotOrchestrator:
         self.sentinel = Sentinel(self.testbed.service.default_settings)
         self._block_policy = None
         self._block_policy_loaded = False
+        #: Suffix appended to the dataset name in every simulated-filesystem
+        #: path this run touches (staged files, compressed blobs, groups,
+        #: reconstructions).  Empty for the classic exclusive-testbed path;
+        #: the job service sets it (e.g. ``"@job-0002"``) when concurrent
+        #: jobs name the same dataset, so tenants never clobber each
+        #: other's artefacts between phase steps.
+        self.artifact_scope: str = ""
+
+    def _scoped(self, dataset_name: str) -> str:
+        """Dataset label used for filesystem paths (with tenant scope)."""
+        return f"{dataset_name}{self.artifact_scope}"
 
     # ------------------------------------------------------------------ #
     # Staging
@@ -103,7 +115,7 @@ class OcelotOrchestrator:
     def stage(self, dataset: ScientificDataset, source: str) -> List[StagedFile]:
         """Stage a dataset's files onto the source endpoint's filesystem."""
         endpoint = self.testbed.endpoint(source)
-        prefix = f"/data/{dataset.name}"
+        prefix = f"/data/{self._scoped(dataset.name)}"
         staged: List[StagedFile] = []
         for data_field in dataset:
             path = f"{prefix}/{data_field.filename}"
@@ -138,17 +150,61 @@ class OcelotOrchestrator:
 
         ``mode`` overrides the configured transfer mode for this run
         (``direct`` / ``compressed`` / ``grouped``).
+
+        This drives :meth:`iter_phases` straight through: the blocking
+        single-job path is literally the phase-step machine with no
+        interleaving.
+        """
+        steps = self.iter_phases(dataset, source, destination, mode=mode)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def iter_phases(
+        self,
+        dataset: ScientificDataset,
+        source: str,
+        destination: str,
+        mode: Optional[str] = None,
+        advance_clock: bool = True,
+    ) -> "Generator[PhaseStep, None, TransferReport]":
+        """Run the transfer as a generator of resumable phase steps.
+
+        Each yielded :class:`PhaseStep` marks a completed phase (the real
+        work — staging, compression, file movement — has already
+        happened) together with its simulated duration and the resources
+        it occupied.  With ``advance_clock=True`` the shared simulation
+        clock advances exactly as the classic blocking path did; the
+        multi-job :class:`~repro.service.JobScheduler` passes ``False``
+        and does its own interleaved time accounting instead.
+
+        The generator's return value is the finished
+        :class:`TransferReport`.
         """
         mode = mode or self.config.mode
         if mode not in ("direct", "compressed", "grouped"):
             raise OrchestrationError(f"unknown transfer mode {mode!r}")
         staged = self.stage(dataset, source)
+        yield PhaseStep(
+            "stage",
+            endpoint=source,
+            detail={
+                "files": len(staged),
+                "bytes": sum(f.size_bytes for f in staged),
+            },
+        )
         direct_estimate_s = self._estimate_direct_transfer(staged, source, destination)
         if mode == "direct":
-            return self._run_direct(dataset, staged, source, destination, direct_estimate_s)
-        return self._run_compressed(
-            dataset, staged, source, destination, mode, direct_estimate_s
+            report = yield from self._phases_direct(
+                dataset, staged, source, destination, direct_estimate_s, advance_clock
+            )
+            return report
+        report = yield from self._phases_compressed(
+            dataset, staged, source, destination, mode, direct_estimate_s, advance_clock
         )
+        return report
 
     # ------------------------------------------------------------------ #
     # Direct (NP) transfers
@@ -168,14 +224,15 @@ class OcelotOrchestrator:
         )
         return estimate.duration_s
 
-    def _run_direct(
+    def _phases_direct(
         self,
         dataset: ScientificDataset,
         staged: List[StagedFile],
         source: str,
         destination: str,
         direct_estimate_s: float,
-    ) -> TransferReport:
+        advance_clock: bool,
+    ) -> Generator[PhaseStep, None, TransferReport]:
         task = self.testbed.service.submit(
             TransferRequest(
                 source_endpoint=source,
@@ -183,7 +240,17 @@ class OcelotOrchestrator:
                 paths=[f.path for f in staged],
                 destination_prefix=self.config.destination_prefix,
                 label=f"{dataset.name}:direct",
-            )
+            ),
+            advance_clock=advance_clock,
+        )
+        yield PhaseStep(
+            "transfer",
+            duration_s=task.duration_s,
+            link=(source, destination),
+            detail={
+                "bytes_shipped": task.bytes_transferred,
+                "files": len(staged),
+            },
         )
         timings = PhaseTimings(transfer_s=task.duration_s)
         return TransferReport(
@@ -205,7 +272,7 @@ class OcelotOrchestrator:
     # ------------------------------------------------------------------ #
     # Compressed (CP) and grouped (OP) transfers
     # ------------------------------------------------------------------ #
-    def _run_compressed(
+    def _phases_compressed(
         self,
         dataset: ScientificDataset,
         staged: List[StagedFile],
@@ -213,7 +280,8 @@ class OcelotOrchestrator:
         destination: str,
         mode: str,
         direct_estimate_s: float,
-    ) -> TransferReport:
+        advance_clock: bool,
+    ) -> Generator[PhaseStep, None, TransferReport]:
         src_endpoint = self.testbed.endpoint(source)
         dst_endpoint = self.testbed.endpoint(destination)
         link = self.testbed.service.topology.link(source, destination)
@@ -224,87 +292,158 @@ class OcelotOrchestrator:
         plan_start = time.perf_counter()
         plan = self.planner.plan(representative=staged[0].field)
         timings.planning_s = time.perf_counter() - plan_start if plan.used_predictor else 0.0
+        yield PhaseStep(
+            "plan",
+            duration_s=timings.planning_s,
+            detail={
+                "compressor": plan.compressor,
+                "error_bound": plan.error_bound.describe(),
+                "used_predictor": plan.used_predictor,
+            },
+        )
 
         # 2. Request compute nodes for the compression job (capped at the
         # size of the source site's partition).
         scheduler = self.faas.endpoint(source).scheduler
         compression_nodes = min(self.config.compression_nodes, scheduler.total_nodes)
-        allocation = scheduler.request(compression_nodes, now=self.testbed.clock.now)
+        # In scheduler mode (advance_clock=False) node occupancy is charged
+        # by the job scheduler's timeline pools, so the batch scheduler
+        # contributes only its sampled queue wait — charging its backfill
+        # deficit too would count the same contention twice.
+        allocation = scheduler.request(
+            compression_nodes,
+            now=self.testbed.clock.now,
+            include_backfill=advance_clock,
+        )
         timings.node_wait_s = allocation.wait_s
-
-        # 3. Sentinel: transfer raw files while waiting for nodes.
-        raw_paths: List[str] = []
-        to_compress = list(staged)
-        if self.config.sentinel_enabled and allocation.wait_s > self.config.sentinel_wait_threshold_s:
-            decision = self.sentinel.plan(
-                [(f.path, f.size_bytes) for f in staged],
-                wait_s=allocation.wait_s,
-                link=link,
-                threshold_s=self.config.sentinel_wait_threshold_s,
+        # A streamed run drives the shared clock itself (the transfer
+        # stream stamps per-chunk wire times against it), so it always
+        # advances for real; the bulk path only advances when this
+        # generator is the sole owner of the clock.
+        streamed = self.config.transfer_mode == "streamed" and mode == "compressed"
+        try:
+            # 3. Sentinel: transfer raw files while waiting for nodes.
+            raw_paths: List[str] = []
+            to_compress = list(staged)
+            if self.config.sentinel_enabled and allocation.wait_s > self.config.sentinel_wait_threshold_s:
+                decision = self.sentinel.plan(
+                    [(f.path, f.size_bytes) for f in staged],
+                    wait_s=allocation.wait_s,
+                    link=link,
+                    threshold_s=self.config.sentinel_wait_threshold_s,
+                )
+                raw_paths = decision.raw_paths
+                timings.raw_transfer_s = decision.raw_transfer_s
+                raw_set = set(raw_paths)
+                to_compress = [f for f in staged if f.path not in raw_set]
+                if raw_paths:
+                    dst_endpoint.filesystem.copy_from(src_endpoint.filesystem, raw_paths)
+                    notes.append(
+                        f"sentinel transferred {len(raw_paths)} files raw during a "
+                        f"{allocation.wait_s:.0f}s node wait"
+                    )
+            if advance_clock or streamed:
+                self.testbed.clock.advance(max(timings.node_wait_s, timings.raw_transfer_s))
+            yield PhaseStep(
+                "wait",
+                duration_s=max(timings.node_wait_s, timings.raw_transfer_s),
+                endpoint=source,
+                detail={
+                    "node_wait_s": timings.node_wait_s,
+                    "raw_files": len(raw_paths),
+                    "raw_transfer_s": timings.raw_transfer_s,
+                },
             )
-            raw_paths = decision.raw_paths
-            timings.raw_transfer_s = decision.raw_transfer_s
-            raw_set = set(raw_paths)
-            to_compress = [f for f in staged if f.path not in raw_set]
-            if raw_paths:
-                dst_endpoint.filesystem.copy_from(src_endpoint.filesystem, raw_paths)
+
+            # 3b. Streamed transfer: overlap compress → WAN → decode instead
+            # of serialising the phases.  Grouped mode keeps the bulk path
+            # (groups bundle whole compressed files, which defeats per-block
+            # streaming).
+            if streamed:
+                stream_start = self.testbed.clock.now
+                report = self._run_streamed(
+                    self._scoped(dataset.name),
+                    dataset,
+                    staged,
+                    to_compress,
+                    raw_paths,
+                    plan,
+                    timings,
+                    notes,
+                    source,
+                    destination,
+                    direct_estimate_s,
+                    scheduler,
+                    allocation,
+                    compression_nodes,
+                )
+                yield PhaseStep(
+                    "stream",
+                    duration_s=max(0.0, self.testbed.clock.now - stream_start),
+                    endpoint=source,
+                    nodes=compression_nodes,
+                    link=(source, destination),
+                    detail={
+                        "bytes_shipped": report.transferred_bytes,
+                        "chunks": timings.streaming_s > 0,
+                    },
+                )
+                return report
+            if self.config.transfer_mode == "streamed" and mode == "grouped":
                 notes.append(
-                    f"sentinel transferred {len(raw_paths)} files raw during a "
-                    f"{allocation.wait_s:.0f}s node wait"
+                    "grouped mode keeps the bulk path; use mode='compressed' "
+                    "for streamed block transfer"
                 )
 
-        # 3b. Streamed transfer: overlap compress → WAN → decode instead of
-        # serialising the phases.  Grouped mode keeps the bulk path (groups
-        # bundle whole compressed files, which defeats per-block streaming).
-        if self.config.transfer_mode == "streamed" and mode == "compressed":
-            self.testbed.clock.advance(max(timings.node_wait_s, timings.raw_transfer_s))
-            return self._run_streamed(
-                dataset,
-                staged,
-                to_compress,
-                raw_paths,
-                plan,
-                timings,
-                notes,
-                source,
-                destination,
-                direct_estimate_s,
-                scheduler,
-                allocation,
-                compression_nodes,
+            # 4. Really compress the remaining files.  Cluster-scale timing
+            # uses either the measured per-file times (scaled by
+            # work_time_scale) or an assumed native-compressor throughput
+            # when configured.
+            outcome = self._compress_files(to_compress, plan, source)
+            if self.config.assumed_compression_throughput_mbps:
+                throughput = self.config.assumed_compression_throughput_mbps * 1e6
+                per_file_times = [f.size_bytes / throughput for f in to_compress]
+                time_scale = 1.0
+            else:
+                per_file_times = outcome.per_file_times_s
+                time_scale = self.config.resolved_work_time_scale()
+            makespan = self.executor.compression_makespan(
+                per_file_times,
+                outcome.per_file_output_bytes,
+                nodes=compression_nodes,
+                cores_per_node=self.config.cores_per_node,
+                time_scale=time_scale,
             )
-        if self.config.transfer_mode == "streamed" and mode == "grouped":
-            notes.append(
-                "grouped mode keeps the bulk path; use mode='compressed' "
-                "for streamed block transfer"
-            )
-
-        # 4. Really compress the remaining files.  Cluster-scale timing uses
-        # either the measured per-file times (scaled by work_time_scale) or
-        # an assumed native-compressor throughput when configured.
-        outcome = self._compress_files(to_compress, plan, source)
-        if self.config.assumed_compression_throughput_mbps:
-            throughput = self.config.assumed_compression_throughput_mbps * 1e6
-            per_file_times = [f.size_bytes / throughput for f in to_compress]
-            time_scale = 1.0
-        else:
-            per_file_times = outcome.per_file_times_s
-            time_scale = self.config.resolved_work_time_scale()
-        makespan = self.executor.compression_makespan(
-            per_file_times,
-            outcome.per_file_output_bytes,
+            timings.compression_s = makespan.makespan_s
+            if advance_clock:
+                self.testbed.clock.advance(timings.compression_s)
+        finally:
+            # Normal exit from the compression phase and a cancelled job
+            # closing this generator mid-phase both land here: the nodes
+            # go back to the pool (release is idempotent, so the streamed
+            # branch having already released is fine).
+            scheduler.release(allocation)
+        yield PhaseStep(
+            "compress",
+            duration_s=timings.compression_s,
+            endpoint=source,
             nodes=compression_nodes,
-            cores_per_node=self.config.cores_per_node,
-            time_scale=time_scale,
+            detail={
+                "files": [
+                    {"name": name, "bytes": size}
+                    for (name, _), size in zip(
+                        outcome.blobs, outcome.per_file_output_bytes
+                    )
+                ],
+                "bytes_compressed": outcome.compressed_bytes,
+                "original_bytes": outcome.original_bytes,
+                "ratio": outcome.ratio if outcome.blobs else 1.0,
+            },
         )
-        timings.compression_s = makespan.makespan_s
-        self.testbed.clock.advance(max(timings.node_wait_s, timings.raw_transfer_s))
-        self.testbed.clock.advance(timings.compression_s)
-        scheduler.release(allocation)
 
         # 5. Optionally group the compressed files.
         if mode == "grouped" and outcome.blobs:
-            group_prefix = f"/groups/{dataset.name}"
+            group_prefix = f"/groups/{self._scoped(dataset.name)}"
             groups, plan_info = self.grouper.build_groups(
                 outcome.blobs,
                 world_size=None if self.config.group_target_bytes else self.config.group_world_size,
@@ -329,10 +468,16 @@ class OcelotOrchestrator:
             transfer_paths.append(metadata_path)
             timings.grouping_s = grouped_bytes / self.executor.cost_model.pfs_write_bps * 2.0
             notes.append(f"grouped {len(outcome.blobs)} compressed files into {len(groups)} groups")
+            yield PhaseStep(
+                "group",
+                duration_s=timings.grouping_s,
+                endpoint=source,
+                detail={"groups": len(groups), "grouped_bytes": grouped_bytes},
+            )
         elif outcome.blobs:
             transfer_paths = []
             for name, payload in outcome.blobs:
-                path = f"/compressed/{dataset.name}/{name}.sz"
+                path = f"/compressed/{self._scoped(dataset.name)}/{name}.sz"
                 src_endpoint.filesystem.write(
                     path, data=payload, size_bytes=int(len(payload) * self.config.size_scale)
                 )
@@ -350,7 +495,8 @@ class OcelotOrchestrator:
                     paths=transfer_paths,
                     destination_prefix=self.config.destination_prefix,
                     label=f"{dataset.name}:{mode}",
-                )
+                ),
+                advance_clock=advance_clock,
             )
             timings.transfer_s = task.duration_s
             transferred_bytes = task.bytes_transferred
@@ -358,10 +504,30 @@ class OcelotOrchestrator:
         transferred_bytes += sum(
             f.size_bytes for f in staged if f.path in raw_path_set
         )
+        yield PhaseStep(
+            "transfer",
+            duration_s=timings.transfer_s,
+            link=(source, destination),
+            detail={
+                "bytes_shipped": transferred_bytes,
+                "files": len(transfer_paths) + len(raw_paths),
+            },
+        )
 
         # 7. Decompress at the destination.
         quality = self._decompress_and_verify(
-            dataset, to_compress, transfer_paths, destination, mode, timings
+            dataset, to_compress, transfer_paths, destination, mode, timings,
+            advance_clock=advance_clock,
+        )
+        yield PhaseStep(
+            "decompress",
+            duration_s=timings.decompression_s,
+            endpoint=destination,
+            nodes=min(
+                self.config.decompression_nodes,
+                self.faas.endpoint(destination).scheduler.total_nodes,
+            ),
+            detail={k: v for k, v in quality.items()},
         )
 
         original_bytes = sum(f.size_bytes for f in staged)
@@ -390,6 +556,7 @@ class OcelotOrchestrator:
     # ------------------------------------------------------------------ #
     def _run_streamed(
         self,
+        scoped_name: str,
         dataset: ScientificDataset,
         staged: List[StagedFile],
         to_compress: List[StagedFile],
@@ -412,7 +579,7 @@ class OcelotOrchestrator:
             compression_nodes=compression_nodes,
             cost_model=self.executor.cost_model,
         )
-        outcome = streamer.run(dataset.name, to_compress, plan, source, destination)
+        outcome = streamer.run(scoped_name, to_compress, plan, source, destination)
         scheduler.release(allocation)
         timings.compression_s = outcome.compression_s
         timings.transfer_s = outcome.transfer_s
@@ -515,6 +682,7 @@ class OcelotOrchestrator:
         destination: str,
         mode: str,
         timings: PhaseTimings,
+        advance_clock: bool = True,
     ) -> Dict[str, float]:
         """Really decompress at the destination; fill in decompression timing."""
         if not transfer_paths:
@@ -558,7 +726,7 @@ class OcelotOrchestrator:
                 psnr_values.append(compute_psnr(data, recon64))
                 max_errors.append(float(np.max(np.abs(data - recon64))))
             dst_endpoint.filesystem.write(
-                f"/decompressed/{dataset.name}/{name}",
+                f"/decompressed/{self._scoped(dataset.name)}/{name}",
                 size_bytes=int(recon.nbytes * self.config.size_scale),
             )
         if per_file_times:
@@ -580,7 +748,8 @@ class OcelotOrchestrator:
                 time_scale=time_scale,
             )
             timings.decompression_s = makespan.makespan_s
-            self.testbed.clock.advance(timings.decompression_s)
+            if advance_clock:
+                self.testbed.clock.advance(timings.decompression_s)
         finite_psnr = [p for p in psnr_values if np.isfinite(p)]
         quality: Dict[str, float] = {}
         if finite_psnr:

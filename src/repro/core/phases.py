@@ -1,0 +1,59 @@
+"""Phase steps: the resumable units an orchestrated transfer is made of.
+
+The orchestrator expresses one dataset transfer as a generator of
+:class:`PhaseStep` descriptors (stage → plan → wait → compress → group →
+transfer → decompress).  Driving the generator straight through
+reproduces the classic blocking ``OcelotOrchestrator.run``; suspending
+it at each yield is what lets the :class:`~repro.service.JobScheduler`
+interleave many concurrent jobs over one shared testbed, charging each
+step against the compute-node and WAN-link resources it occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PhaseStep", "PHASE_ORDER"]
+
+#: Canonical phase names in execution order (streamed runs collapse the
+#: compress/transfer/decompress pipeline into a single ``stream`` phase).
+PHASE_ORDER: Tuple[str, ...] = (
+    "stage",
+    "plan",
+    "wait",
+    "compress",
+    "stream",
+    "group",
+    "transfer",
+    "decompress",
+)
+
+
+@dataclass
+class PhaseStep:
+    """One completed phase of a transfer job.
+
+    The orchestrator performs the phase's real work (compression,
+    file-system writes, duration modelling) *before* yielding the step;
+    the step records what the driver needs for time accounting:
+
+    Attributes:
+        name: phase name (one of :data:`PHASE_ORDER`).
+        duration_s: simulated duration of the phase for this job.
+        endpoint: endpoint whose compute resources the phase occupies
+            (``None`` for phases that hold no nodes).
+        nodes: compute nodes held for the duration of the phase.
+        link: ``(source, destination)`` WAN link the phase occupies, or
+            ``None`` for local phases.
+        detail: structured facts about the phase (bytes compressed,
+            bytes shipped, per-file progress, ...) used for the job
+            event feed.
+    """
+
+    name: str
+    duration_s: float = 0.0
+    endpoint: Optional[str] = None
+    nodes: int = 0
+    link: Optional[Tuple[str, str]] = None
+    detail: Dict[str, object] = field(default_factory=dict)

@@ -96,12 +96,19 @@ class BatchScheduler:
         """Nodes currently free."""
         return self.total_nodes - self._busy_nodes
 
-    def request(self, nodes: int, now: float = 0.0) -> NodeAllocation:
+    def request(
+        self, nodes: int, now: float = 0.0, include_backfill: bool = True
+    ) -> NodeAllocation:
         """Request ``nodes`` nodes; returns an allocation with its queue wait.
 
         Requests larger than the partition raise; requests that cannot be
         satisfied from free nodes add a backfill delay on top of the
         sampled queue wait.
+
+        ``include_backfill=False`` charges only the sampled queue wait:
+        multi-job schedulers that place allocations on a shared timeline
+        account for node occupancy themselves, and adding the backfill
+        deficit on top would bill the same contention twice.
         """
         if nodes < 1:
             raise SchedulingError("must request at least one node")
@@ -110,7 +117,7 @@ class BatchScheduler:
                 f"requested {nodes} nodes but the partition only has {self.total_nodes}"
             )
         wait = self.wait_model.sample(self._rng)
-        if nodes > self.free_nodes:
+        if include_backfill and nodes > self.free_nodes:
             # Nodes are occupied by other users' jobs: wait for backfill.
             deficit = nodes - self.free_nodes
             wait += deficit * max(30.0, self.wait_model.scale_s or 30.0)

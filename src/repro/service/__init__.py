@@ -1,0 +1,29 @@
+"""The Ocelot service layer: jobs instead of blocking calls.
+
+``repro.service`` turns the orchestration stack into a multi-tenant
+service: declarative, validated :class:`TransferSpec` requests go in,
+:class:`JobHandle` objects come out immediately, and a
+:class:`JobScheduler` multiplexes the resulting jobs — split into
+resumable phase steps — over one shared testbed with contention for
+compute nodes and WAN links.
+"""
+
+from __future__ import annotations
+
+from .api import OcelotService
+from .events import JobEvent
+from .jobs import JobHandle, JobStatus, PhaseSpan, TransferJob
+from .scheduler import JobScheduler, UnitPool
+from .spec import TransferSpec
+
+__all__ = [
+    "OcelotService",
+    "TransferSpec",
+    "JobHandle",
+    "JobStatus",
+    "JobEvent",
+    "JobScheduler",
+    "PhaseSpan",
+    "TransferJob",
+    "UnitPool",
+]

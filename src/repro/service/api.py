@@ -1,0 +1,186 @@
+"""``OcelotService``: submit transfer jobs, get handles, observe them.
+
+This is Capability 3 of the paper grown into a service surface: many
+users submit :class:`~repro.service.spec.TransferSpec` requests against
+shared endpoints, schedulers and WAN links; the service validates each
+request at the boundary, hands back a
+:class:`~repro.service.jobs.JobHandle` immediately, and multiplexes the
+resulting jobs over one testbed through the
+:class:`~repro.service.scheduler.JobScheduler`.
+
+The legacy blocking calls (``Ocelot.transfer_dataset`` /
+``Ocelot.compare_modes``) are thin submit-and-wait wrappers over this
+service, so both surfaces produce identical reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional
+
+from ..core.config import OcelotConfig
+from ..core.orchestrator import OcelotOrchestrator
+from ..errors import OrchestrationError
+from ..faas.service import FuncXService, build_faas_service
+from ..transfer.testbed import Testbed, build_testbed
+from .jobs import JobHandle, TransferJob
+from .scheduler import JobScheduler
+from .spec import TransferSpec
+
+__all__ = ["OcelotService"]
+
+
+class OcelotService:
+    """Job-oriented front end of the Ocelot orchestration stack."""
+
+    def __init__(
+        self,
+        config: Optional[OcelotConfig] = None,
+        testbed: Optional[Testbed] = None,
+        faas: Optional[FuncXService] = None,
+        orchestrator_factory: Optional[Callable[[OcelotConfig], OcelotOrchestrator]] = None,
+        job_id_prefix: str = "job",
+        first_job_number: int = 1,
+    ) -> None:
+        self.config = config or OcelotConfig()
+        self.testbed = testbed or build_testbed()
+        self.faas = faas or build_faas_service(clock=self.testbed.clock)
+        self._factory = orchestrator_factory or self._default_orchestrator
+        self.scheduler = JobScheduler(self.testbed, self.faas)
+        self._job_id_prefix = job_id_prefix
+        self._counter = itertools.count(max(1, int(first_job_number)))
+        self._handles: dict[str, JobHandle] = {}
+
+    def _default_orchestrator(self, config: OcelotConfig) -> OcelotOrchestrator:
+        return OcelotOrchestrator(config=config, testbed=self.testbed, faas=self.faas)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: TransferSpec) -> JobHandle:
+        """Validate a request and enqueue it; returns its handle.
+
+        Validation — mode, endpoints, WAN route, compressor, per-job
+        config overrides — happens here, before any staging or clock
+        movement, so a bad request costs nothing and fails with a precise
+        error.  The job itself runs when the scheduler is drained (any
+        handle's :meth:`~repro.service.jobs.JobHandle.wait` /
+        :meth:`~repro.service.jobs.JobHandle.result`, or
+        :meth:`run_pending`).
+        """
+        if not isinstance(spec, TransferSpec):
+            raise OrchestrationError(
+                f"submit() takes a TransferSpec, got {type(spec).__name__}"
+            )
+        job_config = spec.validate(self.config, self.testbed)
+        if self.scheduler.idle and self.testbed.clock.now < self.scheduler.makespan_s:
+            # The clock was rewound (e.g. between compare_modes runs):
+            # start a fresh scheduling epoch instead of queueing the new
+            # job behind the previous epoch's resource horizons.
+            self.scheduler.reset_timeline(self.testbed.clock.now)
+        orchestrator = self._factory(job_config)
+        job_id = f"{self._job_id_prefix}-{next(self._counter):04d}"
+        # Concurrent jobs naming the same dataset would share staged and
+        # compressed artefact paths on the simulated filesystems, letting
+        # one tenant's writes clobber another's between phase steps (and
+        # a job decode a different tenant's blobs).  Scope this job's
+        # paths when its dataset name collides with a live job's.
+        live_names = {
+            getattr(queued.spec.dataset, "name", None)
+            for queued in self.scheduler.jobs()
+            if not queued.status.is_terminal
+        }
+        if getattr(spec.dataset, "name", None) in live_names:
+            orchestrator.artifact_scope = f"@{job_id}"
+        job = TransferJob(
+            job_id=job_id,
+            spec=spec,
+            config=job_config,
+            orchestrator=orchestrator,
+            submitted_at=self.testbed.clock.now,
+        )
+        # Creating the generator runs nothing: staging starts only when
+        # the scheduler first resumes the job.
+        job.generator = orchestrator.iter_phases(
+            spec.dataset,
+            spec.source,
+            spec.destination,
+            mode=spec.mode,
+            advance_clock=False,
+        )
+        job.emit("submitted", job.submitted_at, detail=spec.describe())
+        self.scheduler.add(job)
+        handle = JobHandle(job, self.scheduler)
+        self._handles[job.job_id] = handle
+        return handle
+
+    def submit_batch(self, specs: Iterable[TransferSpec]) -> List[JobHandle]:
+        """Submit several requests; they will interleave when drained."""
+        return [self.submit(spec) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def jobs(self) -> List[JobHandle]:
+        """Handles of every job ever submitted, in submission order."""
+        return [self._handles[job.job_id] for job in self.scheduler.jobs()]
+
+    def job(self, job_id: str) -> JobHandle:
+        """Look up one job by id."""
+        try:
+            return self._handles[job_id]
+        except KeyError as exc:
+            raise OrchestrationError(
+                f"unknown job {job_id!r}; known jobs: {sorted(self._handles)}"
+            ) from exc
+
+    @property
+    def makespan_s(self) -> float:
+        """Combined makespan of everything scheduled so far."""
+        return self.scheduler.makespan_s
+
+    # ------------------------------------------------------------------ #
+    # Retention
+    # ------------------------------------------------------------------ #
+    def discard(self, job_id: str) -> None:
+        """Forget one terminal job (its handle stays usable standalone)."""
+        handle = self.job(job_id)
+        if not handle.status.is_terminal:
+            raise OrchestrationError(
+                f"cannot discard job {job_id}: still {handle.status.value}"
+            )
+        self.scheduler.remove(self.scheduler_job(job_id))
+        del self._handles[job_id]
+
+    def clear_finished(self) -> int:
+        """Forget every terminal job; returns how many were discarded.
+
+        Long-lived clients submitting many jobs (sweeps, the blocking
+        wrappers) call this to keep the service's memory bounded —
+        datasets, event feeds and timelines of finished jobs are
+        otherwise retained for inspection indefinitely.
+        """
+        finished = [h.job_id for h in self.jobs() if h.status.is_terminal]
+        for job_id in finished:
+            self.discard(job_id)
+        return len(finished)
+
+    def scheduler_job(self, job_id: str) -> TransferJob:
+        """The scheduler-side record behind a handle (internal plumbing)."""
+        for job in self.scheduler.jobs():
+            if job.job_id == job_id:
+                return job
+        raise OrchestrationError(f"unknown job {job_id!r}")
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_pending(self) -> List[JobHandle]:
+        """Drain the scheduler: run every queued job to a terminal state.
+
+        Returns the handles of all jobs (completed, failed or cancelled).
+        Equivalent to waiting on any one handle of the batch, but reads
+        better when the caller only wants the batch effect.
+        """
+        self.scheduler.drain()
+        return self.jobs()

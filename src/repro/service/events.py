@@ -1,0 +1,52 @@
+"""Structured job events: the observable record of a running transfer.
+
+Every job emits a time-ordered feed of :class:`JobEvent` records as its
+phases are scheduled — submission, phase start/finish (with bytes
+compressed and shipped), per-file compression progress, and the terminal
+completion / failure / cancellation marker.  The feed is what makes a
+job inspectable while the service multiplexes many of them, where the
+old blocking API only produced a report after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["JobEvent"]
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One observable fact about a job, stamped with simulated time.
+
+    Attributes:
+        time_s: simulated time of the event on the job's timeline.
+        job_id: owning job.
+        kind: event kind — ``submitted``, ``phase_started``,
+            ``phase_finished``, ``file_compressed``, ``completed``,
+            ``failed`` or ``cancelled``.
+        phase: phase name for phase-scoped events (empty otherwise).
+        detail: structured payload (bytes compressed/shipped, file names,
+            error text, ...).
+    """
+
+    time_s: float
+    job_id: str
+    kind: str
+    phase: str = ""
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form of the event."""
+        return {
+            "time_s": self.time_s,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "phase": self.phase,
+            "detail": dict(self.detail),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        phase = f" {self.phase}" if self.phase else ""
+        return f"[{self.time_s:10.2f}s] {self.job_id} {self.kind}{phase}"

@@ -1,0 +1,284 @@
+"""The multi-tenant job scheduler: interleave phase steps on one testbed.
+
+The classic ``OcelotOrchestrator.run`` assumed exclusive ownership of
+the testbed: one dataset, one clock, phases advancing it in sequence.
+The :class:`JobScheduler` instead drives many jobs' phase-step
+generators (``OcelotOrchestrator.iter_phases``) cooperatively:
+
+* each job has a local position ``t_local`` on the shared simulated
+  timeline;
+* the scheduler always resumes the job whose position is earliest
+  (ties broken by submission order), so execution is deterministic;
+* compute phases contend for per-endpoint node pools (sized by the
+  site's batch-scheduler partition) and WAN phases contend for
+  per-link channels — a phase starts at the earliest time both the job
+  and its resources are free, exactly like GridFTP channel assignment
+  in the transfer stream;
+* the shared simulation clock is advanced once, to the combined
+  makespan, when the queue drains.
+
+Because compression and transfer phases of *different* jobs overlap on
+the timeline, the combined makespan of N jobs is below the sum of their
+serial makespans while each job's report stays identical to what a solo
+run produces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.phases import PhaseStep
+from .jobs import JobStatus, PhaseSpan, TransferJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faas.service import FuncXService
+    from ..transfer.testbed import Testbed
+
+__all__ = ["JobScheduler", "UnitPool"]
+
+
+class UnitPool:
+    """A pool of identical resource units with per-unit free times.
+
+    Acquiring ``n`` units at time ``ready`` starts when the ``n``
+    earliest-free units are all available — the same min-heap discipline
+    the transfer stream uses for GridFTP channels, applied to compute
+    nodes and WAN links.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, int(capacity))
+        self._free: List[float] = [0.0] * self.capacity
+
+    def earliest_start(self, units: int, ready: float) -> float:
+        """Earliest time ``units`` units are simultaneously free."""
+        units = max(1, min(units, self.capacity))
+        return max([ready] + heapq.nsmallest(units, self._free))
+
+    def commit(self, units: int, finish: float) -> None:
+        """Occupy ``units`` units until ``finish``."""
+        units = max(1, min(units, self.capacity))
+        for _ in range(units):
+            heapq.heappop(self._free)
+        for _ in range(units):
+            heapq.heappush(self._free, finish)
+
+    @property
+    def horizon_s(self) -> float:
+        """Latest committed finish time across all units."""
+        return max(self._free)
+
+
+class JobScheduler:
+    """Cooperatively schedule many transfer jobs over a shared testbed."""
+
+    def __init__(self, testbed: "Testbed", faas: "FuncXService") -> None:
+        self.testbed = testbed
+        self.faas = faas
+        self._jobs: List[TransferJob] = []
+        self._active: List[TransferJob] = []
+        self._node_pools: Dict[str, UnitPool] = {}
+        self._link_pools: Dict[Tuple[str, str], UnitPool] = {}
+        self._makespan_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Resource pools
+    # ------------------------------------------------------------------ #
+    def node_pool(self, endpoint: str) -> UnitPool:
+        """Compute-node pool of one endpoint (sized by its partition)."""
+        pool = self._node_pools.get(endpoint)
+        if pool is None:
+            capacity = self.faas.endpoint(endpoint).scheduler.total_nodes
+            pool = self._node_pools[endpoint] = UnitPool(capacity)
+        return pool
+
+    def link_pool(self, link: Tuple[str, str]) -> UnitPool:
+        """WAN pool of one route; bulk transfers use the whole link."""
+        pool = self._link_pools.get(link)
+        if pool is None:
+            pool = self._link_pools[link] = UnitPool(1)
+        return pool
+
+    # ------------------------------------------------------------------ #
+    # Queue management
+    # ------------------------------------------------------------------ #
+    def add(self, job: TransferJob) -> None:
+        """Enqueue a job (its phase generator has not started yet)."""
+        job.t_local = job.submitted_at
+        self._jobs.append(job)
+        self._active.append(job)
+
+    def jobs(self) -> List[TransferJob]:
+        """All currently retained jobs, in submission order."""
+        return list(self._jobs)
+
+    def remove(self, job: TransferJob) -> None:
+        """Forget a terminal job (long-lived services evict old records)."""
+        if not job.status.is_terminal:
+            raise RuntimeError(f"cannot remove job {job.job_id}: still {job.status.value}")
+        if job in self._jobs:
+            self._jobs.remove(job)
+
+    @property
+    def makespan_s(self) -> float:
+        """Latest phase finish across all jobs scheduled so far."""
+        return self._makespan_s
+
+    @property
+    def idle(self) -> bool:
+        """Whether every queued job has reached a terminal state."""
+        return not self._active
+
+    def reset_timeline(self, origin: float = 0.0) -> None:
+        """Start a fresh scheduling epoch at ``origin``.
+
+        Used when the shared clock is rewound between experiment runs
+        (e.g. ``Ocelot.compare_modes`` resetting the testbed per mode)
+        while the scheduler is idle: resource pools and the combined
+        makespan restart from ``origin`` instead of queueing new jobs
+        behind the previous epoch's finish times.
+        """
+        if not self.idle:
+            raise RuntimeError("cannot reset the timeline while jobs are in flight")
+        self._node_pools.clear()
+        self._link_pools.clear()
+        self._makespan_s = float(origin)
+
+    def _next_job(self) -> Optional[TransferJob]:
+        """The runnable job earliest on the timeline (ties: submit order)."""
+        best: Optional[TransferJob] = None
+        for job in self._active:
+            if best is None or job.t_local < best.t_local:
+                best = job
+        return best
+
+    def _retire(self, job: TransferJob) -> None:
+        """Drop a job from the active scan set once it turns terminal."""
+        if job in self._active:
+            self._active.remove(job)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Advance the earliest-ready job by one phase; False when idle.
+
+        One call resumes one job's generator to its next phase boundary,
+        charges the phase against the resource pools, and emits the
+        job's phase events.  Terminal transitions (completion, failure)
+        also happen here.
+        """
+        job = self._next_job()
+        if job is None:
+            return False
+        if job.status is JobStatus.PENDING:
+            job.status = JobStatus.RUNNING
+            job.started_at = job.t_local
+        assert job.generator is not None
+        try:
+            phase = next(job.generator)
+        except StopIteration as stop:
+            self._complete(job, stop.value)
+            return True
+        except Exception as exc:  # noqa: BLE001 - failures belong to the job
+            self._fail(job, exc)
+            return True
+        self._account(job, phase)
+        return True
+
+    def drain(self) -> None:
+        """Run every queued job to a terminal state, then sync the clock."""
+        while self.step():
+            pass
+        self.testbed.clock.advance_to(self._makespan_s)
+
+    def drain_until(self, job: TransferJob) -> None:
+        """Run the queue until ``job`` reaches a terminal state.
+
+        The scheduler interleaves *all* queued jobs while getting there —
+        waiting on one handle of a batch advances the whole batch, which
+        is what makes ``submit(); submit(); wait()`` a concurrent run.
+        """
+        while not job.status.is_terminal and self.step():
+            pass
+        self.testbed.clock.advance_to(self._makespan_s)
+
+    def cancel(self, job: TransferJob) -> bool:
+        """Cancel a job; returns False once it is already terminal.
+
+        Closing the suspended phase generator raises ``GeneratorExit`` at
+        its last yield point, so ``finally`` blocks inside the
+        orchestrator run — in particular the batch-scheduler node release
+        — execute immediately.
+        """
+        if job.status.is_terminal:
+            return False
+        if job.generator is not None and job.status is JobStatus.RUNNING:
+            job.generator.close()
+        job.status = JobStatus.CANCELLED
+        job.finished_at = job.t_local
+        job.emit("cancelled", job.t_local)
+        self._retire(job)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def _account(self, job: TransferJob, phase: PhaseStep) -> None:
+        """Place one finished phase on the timeline with contention."""
+        ready = job.t_local
+        starts = [ready]
+        node_pool: Optional[UnitPool] = None
+        link_pool: Optional[UnitPool] = None
+        if phase.nodes > 0 and phase.endpoint is not None:
+            node_pool = self.node_pool(phase.endpoint)
+            starts.append(node_pool.earliest_start(phase.nodes, ready))
+        if phase.link is not None:
+            link_pool = self.link_pool(phase.link)
+            starts.append(link_pool.earliest_start(1, ready))
+        start = max(starts)
+        finish = start + max(0.0, phase.duration_s)
+        if node_pool is not None:
+            node_pool.commit(phase.nodes, finish)
+        if link_pool is not None:
+            link_pool.commit(1, finish)
+        job.emit("phase_started", start, phase=phase.name)
+        files = phase.detail.get("files")
+        if phase.name == "compress" and isinstance(files, list):
+            for entry in files:
+                job.emit("file_compressed", finish, phase=phase.name, detail=dict(entry))
+        finished_detail = {
+            key: value for key, value in phase.detail.items()
+            if not (phase.name == "compress" and key == "files")
+        }
+        finished_detail["duration_s"] = finish - start
+        if start - ready > 1e-12:
+            # Time spent queueing for contended nodes/links after the job
+            # itself was ready — the cross-tenant cost of this phase.
+            finished_detail["queued_s"] = start - ready
+        job.emit("phase_finished", finish, phase=phase.name, detail=finished_detail)
+        job.timeline.append(
+            PhaseSpan(name=phase.name, start_s=start, end_s=finish, detail=dict(phase.detail))
+        )
+        job.t_local = finish
+        self._makespan_s = max(self._makespan_s, finish)
+
+    def _complete(self, job: TransferJob, report) -> None:
+        job.report = report
+        job.status = JobStatus.COMPLETED
+        job.finished_at = job.t_local
+        self._retire(job)
+        job.emit(
+            "completed",
+            job.t_local,
+            detail={
+                "total_s": getattr(report, "total_s", None),
+                "compression_ratio": getattr(report, "compression_ratio", None),
+            },
+        )
+
+    def _fail(self, job: TransferJob, error: BaseException) -> None:
+        job.error = error
+        job.status = JobStatus.FAILED
+        job.finished_at = job.t_local
+        self._retire(job)
+        job.emit("failed", job.t_local, detail={"error": str(error)})

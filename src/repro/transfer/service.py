@@ -330,8 +330,15 @@ class TransferService:
     # ------------------------------------------------------------------ #
     # Transfers
     # ------------------------------------------------------------------ #
-    def submit(self, request: TransferRequest) -> TransferTask:
-        """Execute a transfer request, advancing the simulation clock."""
+    def submit(self, request: TransferRequest, advance_clock: bool = True) -> TransferTask:
+        """Execute a transfer request, advancing the simulation clock.
+
+        With ``advance_clock=False`` the files still move and the task's
+        duration is still computed from the GridFTP estimate, but the
+        shared clock is left alone — multi-job schedulers that interleave
+        several transfers on the same clock account for wire time
+        themselves.
+        """
         source = self.endpoint(request.source_endpoint)
         destination = self.endpoint(request.destination_endpoint)
         if not request.paths:
@@ -356,7 +363,8 @@ class TransferService:
             task.status = TransferStatus.ACTIVE
             task.started_at = self.clock.now
             self.clock.record(f"transfer:start:{task.task_id}")
-            self.clock.advance(estimate.duration_s)
+            if advance_clock:
+                self.clock.advance(estimate.duration_s)
             destination.filesystem.copy_from(
                 source.filesystem, request.paths, dest_prefix=request.destination_prefix
             )
@@ -364,7 +372,7 @@ class TransferService:
                 for path in request.paths:
                     source.filesystem.delete(path)
             task.estimate = estimate
-            task.completed_at = self.clock.now
+            task.completed_at = task.started_at + estimate.duration_s
             task.status = TransferStatus.SUCCEEDED
             self.clock.record(f"transfer:done:{task.task_id}")
         except TransferError as exc:

@@ -150,3 +150,59 @@ class TestCommands:
         assert payload["samples"] > 0
         policy = BlockPolicy.load(out_path)
         assert policy.is_fitted
+
+
+class TestJobServiceCommands:
+    def test_submit_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["submit", "--application", "cesm", "miranda", "--copies", "2",
+             "--destination", "bebop", "--state", "jobs.json"]
+        )
+        assert args.command == "submit"
+        assert args.application == ["cesm", "miranda"]
+        assert args.copies == 2
+        for command in (["jobs"], ["status", "job-0001"]):
+            assert parser.parse_args(command).command == command[0]
+
+    def test_submit_jobs_status_roundtrip(self, tmp_path, capsys):
+        state = tmp_path / "jobs.json"
+        code = main([
+            "submit", "--application", "miranda", "--copies", "2",
+            "--scale", "0.02", "--size-scale", "5000",
+            "--state", str(state), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["jobs"]) == 2
+        assert all(job["status"] == "completed" for job in payload["jobs"])
+        assert payload["combined_makespan_s"] > 0
+        # Per-job event feeds were persisted.
+        kinds = {event["kind"] for event in payload["jobs"][0]["events"]}
+        assert {"submitted", "phase_started", "phase_finished", "completed"} <= kinds
+
+        assert main(["jobs", "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "job-0001" in out and "job-0002" in out and "completed" in out
+
+        assert main(["status", "job-0002", "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "job-0002" in out
+        assert "phase_started" in out
+
+    def test_submit_appends_to_existing_state(self, tmp_path, capsys):
+        state = tmp_path / "jobs.json"
+        for _ in range(2):
+            assert main([
+                "submit", "--application", "miranda", "--scale", "0.02",
+                "--size-scale", "5000", "--state", str(state), "--json",
+            ]) == 0
+            capsys.readouterr()
+        records = json.loads(state.read_text())["jobs"]
+        assert [record["job_id"] for record in records] == ["job-0001", "job-0002"]
+
+    def test_status_unknown_job_fails(self, tmp_path, capsys):
+        state = tmp_path / "jobs.json"
+        state.write_text('{"jobs": []}')
+        assert main(["status", "job-0042", "--state", str(state)]) == 1
+        assert "unknown job" in capsys.readouterr().err

@@ -1,0 +1,419 @@
+"""Tests for the job-oriented service API.
+
+Covers the three contracts the redesign makes:
+
+* requests are validated at the submit boundary (before staging or any
+  clock movement);
+* the scheduler multiplexes many concurrent jobs deterministically over
+  one testbed, with interleaved makespans and node/link contention, and
+  cancellation releases held resources;
+* the legacy blocking wrappers (``Ocelot.transfer_dataset``) produce the
+  same reports as driving the orchestrator directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Ocelot, OcelotConfig, OcelotOrchestrator
+from repro.datasets import generate_application
+from repro.errors import ConfigurationError, OrchestrationError
+from repro.service import JobStatus, OcelotService, TransferSpec
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_application("miranda", snapshots=1, scale=0.03, seed=4,
+                                fields=["density", "pressure", "velocityx"])
+
+
+def _config(**kwargs):
+    """Deterministic config: assumed throughputs instead of wall time."""
+    defaults = dict(
+        error_bound=1e-3,
+        compressor="sz3-fast",
+        mode="compressed",
+        sentinel_enabled=False,
+        compression_nodes=2,
+        decompression_nodes=2,
+        size_scale=20_000.0,
+        assumed_compression_throughput_mbps=300.0,
+        assumed_decompression_throughput_mbps=500.0,
+    )
+    defaults.update(kwargs)
+    return OcelotConfig(**defaults)
+
+
+def _spec(dataset, **kwargs):
+    defaults = dict(dataset=dataset, source="anvil", destination="cori")
+    defaults.update(kwargs)
+    return TransferSpec(**defaults)
+
+
+def _dicts_close(a, b, rel=1e-9):
+    """Recursive equality with float tolerance (clock-offset rounding)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_dicts_close(a[k], b[k], rel) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_dicts_close(x, y, rel) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return a == pytest.approx(b, rel=rel, abs=1e-12)
+    return a == b
+
+
+class TestConfigOverrides:
+    def test_with_overrides_returns_validated_copy(self):
+        base = _config()
+        derived = base.with_overrides(error_bound=1e-2, mode="grouped")
+        assert derived.error_bound == 1e-2
+        assert derived.mode == "grouped"
+        assert base.error_bound == 1e-3  # original untouched
+
+    def test_with_overrides_rejects_unknown_field(self):
+        with pytest.raises(ConfigurationError, match="unknown OcelotConfig override"):
+            _config().with_overrides(warp_factor=9)
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ConfigurationError):
+            _config().with_overrides(block_workers=0)
+
+
+class TestSubmitValidation:
+    """Bad requests fail at the boundary: no staging, no clock movement."""
+
+    def _assert_pristine(self, service):
+        assert service.testbed.clock.now == 0.0
+        for name in service.testbed.service.endpoints():
+            assert service.testbed.endpoint(name).filesystem.file_count() == 0
+
+    def test_unknown_mode(self, tiny_dataset):
+        service = OcelotService(_config())
+        with pytest.raises(OrchestrationError, match="unknown transfer mode"):
+            service.submit(_spec(tiny_dataset, mode="hyperspeed"))
+        self._assert_pristine(service)
+
+    def test_unknown_endpoint(self, tiny_dataset):
+        service = OcelotService(_config())
+        with pytest.raises(OrchestrationError, match="unknown destination endpoint"):
+            service.submit(_spec(tiny_dataset, destination="summit"))
+        with pytest.raises(OrchestrationError, match="unknown source endpoint"):
+            service.submit(_spec(tiny_dataset, source="summit"))
+        self._assert_pristine(service)
+
+    def test_same_source_and_destination(self, tiny_dataset):
+        service = OcelotService(_config())
+        with pytest.raises(OrchestrationError, match="two distinct endpoints"):
+            service.submit(_spec(tiny_dataset, destination="anvil"))
+        self._assert_pristine(service)
+
+    def test_unknown_compressor(self, tiny_dataset):
+        service = OcelotService(_config())
+        with pytest.raises(ConfigurationError, match="unknown compressor"):
+            service.submit(_spec(tiny_dataset, overrides={"compressor": "zstd-max"}))
+        self._assert_pristine(service)
+
+    def test_invalid_override_value(self, tiny_dataset):
+        service = OcelotService(_config())
+        with pytest.raises(ConfigurationError):
+            service.submit(_spec(tiny_dataset, overrides={"stream_window": 0}))
+        self._assert_pristine(service)
+
+    def test_legacy_wrapper_validates_at_submit(self, tiny_dataset):
+        """transfer_dataset inherits boundary validation from the service."""
+        ocelot = Ocelot(_config())
+        with pytest.raises(OrchestrationError, match="unknown transfer mode"):
+            ocelot.transfer_dataset(tiny_dataset, "anvil", "cori", mode="warp")
+        assert ocelot.testbed.clock.now == 0.0
+        assert ocelot.testbed.endpoint("anvil").filesystem.file_count() == 0
+
+
+class TestJobLifecycle:
+    def test_submit_returns_pending_handle_without_staging(self, tiny_dataset):
+        service = OcelotService(_config())
+        handle = service.submit(_spec(tiny_dataset))
+        assert handle.status is JobStatus.PENDING
+        assert handle.job_id == "job-0001"
+        # Nothing ran yet: staging is deferred to the scheduler.
+        assert service.testbed.endpoint("anvil").filesystem.file_count() == 0
+        kinds = [event.kind for event in handle.events()]
+        assert kinds == ["submitted"]
+
+    def test_wait_completes_and_result_reports(self, tiny_dataset):
+        service = OcelotService(_config())
+        handle = service.submit(_spec(tiny_dataset))
+        assert handle.wait() is JobStatus.COMPLETED
+        report = handle.result()
+        assert report.compression_ratio > 1.0
+        assert handle.makespan_s == pytest.approx(report.total_s, rel=1e-6)
+        assert service.testbed.clock.now == pytest.approx(service.makespan_s)
+
+    def test_event_feed_structure(self, tiny_dataset):
+        service = OcelotService(_config())
+        handle = service.submit(_spec(tiny_dataset))
+        handle.wait()
+        events = handle.events()
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "completed"
+        phases = [e.phase for e in events if e.kind == "phase_started"]
+        assert phases == ["stage", "plan", "wait", "compress", "transfer", "decompress"]
+        # Per-file progress during compression.
+        file_events = [e for e in events if e.kind == "file_compressed"]
+        assert len(file_events) == tiny_dataset.file_count
+        assert all(e.detail["bytes"] > 0 for e in file_events)
+        # Bytes shipped on the wire phase.
+        transfer_done = next(
+            e for e in events if e.kind == "phase_finished" and e.phase == "transfer"
+        )
+        assert transfer_done.detail["bytes_shipped"] > 0
+        # Event times never move backwards.
+        times = [event.time_s for event in events]
+        assert times == sorted(times)
+
+    def test_cancel_pending_job_never_runs(self, tiny_dataset):
+        service = OcelotService(_config())
+        doomed = service.submit(_spec(tiny_dataset))
+        survivor = service.submit(_spec(tiny_dataset))
+        assert doomed.cancel() is True
+        assert doomed.status is JobStatus.CANCELLED
+        service.run_pending()
+        assert survivor.status is JobStatus.COMPLETED
+        with pytest.raises(OrchestrationError, match="cancelled"):
+            doomed.result()
+        assert doomed.cancel() is False  # already terminal
+
+    def test_cancel_mid_phase_releases_nodes(self, tiny_dataset):
+        service = OcelotService(_config())
+        handle = service.submit(_spec(tiny_dataset))
+        batch_scheduler = service.faas.endpoint("anvil").scheduler
+        # Step to the wait-phase boundary: the job holds its allocation
+        # while suspended there.
+        for _ in range(3):  # stage, plan, wait
+            assert service.scheduler.step()
+        assert handle.status is JobStatus.RUNNING
+        assert batch_scheduler.busy_nodes > 0
+        assert handle.cancel() is True
+        assert handle.status is JobStatus.CANCELLED
+        assert batch_scheduler.busy_nodes == 0
+        # The queue is drained; nothing left to step.
+        assert service.scheduler.step() is False
+
+    def test_failed_job_does_not_poison_the_batch(self, tiny_dataset):
+        service = OcelotService(_config())
+        bad = service.submit(
+            _spec(
+                tiny_dataset,
+                overrides={
+                    "adaptive_predictor": True,
+                    "block_size": 16,
+                    "block_policy_path": "/nonexistent/policy.json",
+                },
+            )
+        )
+        good = service.submit(_spec(tiny_dataset))
+        service.run_pending()
+        assert bad.status is JobStatus.FAILED
+        assert good.status is JobStatus.COMPLETED
+        with pytest.raises(Exception):
+            bad.result()
+        failed_events = [e for e in bad.events() if e.kind == "failed"]
+        assert len(failed_events) == 1 and failed_events[0].detail["error"]
+
+
+class TestSchedulerInterleaving:
+    N_JOBS = 8
+
+    def _run_batch(self, dataset):
+        service = OcelotService(_config())
+        handles = [service.submit(_spec(dataset)) for _ in range(self.N_JOBS)]
+        service.run_pending()
+        return service, handles
+
+    def test_eight_concurrent_jobs_all_complete(self, tiny_dataset):
+        service, handles = self._run_batch(tiny_dataset)
+        assert [h.status for h in handles] == [JobStatus.COMPLETED] * self.N_JOBS
+
+    def test_combined_makespan_beats_serial_sum(self, tiny_dataset):
+        service, handles = self._run_batch(tiny_dataset)
+        serial_sum = sum(h.result().total_s for h in handles)
+        assert service.makespan_s < serial_sum
+        # Genuine interleaving: a later job starts one of its phases
+        # before an earlier job has finished.
+        first_finish = handles[0].finished_at
+        later_starts = [h.timeline()[0].start_s for h in handles[1:]]
+        assert min(later_starts) < first_finish
+
+    def test_jobs_contend_for_wan_link(self, tiny_dataset):
+        """Bulk transfers on one route serialise on the link pool."""
+        _, handles = self._run_batch(tiny_dataset)
+        spans = sorted(
+            (span for h in handles for span in h.timeline() if span.name == "transfer"),
+            key=lambda span: span.start_s,
+        )
+        for earlier, later in zip(spans, spans[1:]):
+            assert later.start_s >= earlier.end_s - 1e-9
+
+    def test_per_job_reports_match_solo_run(self, tiny_dataset):
+        """Contention changes timelines, never the per-job reports."""
+        solo_service = OcelotService(_config())
+        solo = solo_service.submit(_spec(tiny_dataset)).result()
+        _, handles = self._run_batch(tiny_dataset)
+        for handle in handles:
+            assert _dicts_close(handle.result().as_dict(), solo.as_dict())
+
+    def test_batch_is_deterministic(self, tiny_dataset):
+        service_a, handles_a = self._run_batch(tiny_dataset)
+        service_b, handles_b = self._run_batch(tiny_dataset)
+        assert service_a.makespan_s == pytest.approx(service_b.makespan_s, rel=1e-12)
+        for left, right in zip(handles_a, handles_b):
+            assert left.makespan_s == pytest.approx(right.makespan_s, rel=1e-12)
+            assert _dicts_close(left.result().as_dict(), right.result().as_dict(), rel=1e-12)
+
+    def test_per_job_config_overrides(self, tiny_dataset):
+        service = OcelotService(_config())
+        loose = service.submit(_spec(tiny_dataset, overrides={"error_bound": 1e-1}))
+        tight = service.submit(_spec(tiny_dataset, overrides={"error_bound": 1e-5}))
+        service.run_pending()
+        assert loose.result().compression_ratio > tight.result().compression_ratio
+
+    def test_same_dataset_tenants_are_isolated(self, tiny_dataset):
+        """Concurrent jobs over one dataset never decode each other's blobs.
+
+        Each job's quality metrics must match what a solo run at its own
+        error bound produces — regression test for cross-tenant artefact
+        clobbering between phase steps.
+        """
+        solo = {}
+        for bound in (1e-2, 1e-6):
+            handle = OcelotService(_config()).submit(
+                _spec(tiny_dataset, overrides={"error_bound": bound})
+            )
+            solo[bound] = handle.result()
+        service = OcelotService(_config())
+        mid = service.submit(_spec(tiny_dataset, overrides={"error_bound": 1e-2}))
+        tight = service.submit(_spec(tiny_dataset, overrides={"error_bound": 1e-6}))
+        service.run_pending()
+        assert mid.result().measured_psnr_db == pytest.approx(
+            solo[1e-2].measured_psnr_db, rel=1e-9
+        )
+        assert tight.result().measured_psnr_db == pytest.approx(
+            solo[1e-6].measured_psnr_db, rel=1e-9
+        )
+        assert mid.result().max_abs_error > tight.result().max_abs_error
+
+    def test_node_contention_not_double_counted(self, tiny_dataset):
+        """Pool queueing delays a job's phases; its node_wait_s stays solo.
+
+        Three 8-node jobs on a 16-node partition contend for nodes.  The
+        timeline pools serialise the third compress phase, but the batch
+        scheduler must not *also* charge a backfill deficit into the
+        job's reported wait — that would bill the contention twice.
+        """
+        config_kwargs = dict(compression_nodes=8, decompression_nodes=8)
+        solo = OcelotService(_config(**config_kwargs)).submit(
+            _spec(tiny_dataset)
+        ).result()
+        service = OcelotService(_config(**config_kwargs))
+        handles = [service.submit(_spec(tiny_dataset)) for _ in range(3)]
+        service.run_pending()
+        for handle in handles:
+            assert handle.result().timings.node_wait_s == solo.timings.node_wait_s
+        # The contention is still modelled: the third job's compress phase
+        # starts only after a slot frees up, and its event feed reports
+        # the queueing delay.
+        compress_starts = sorted(
+            span.start_s for h in handles for span in h.timeline()
+            if span.name == "compress"
+        )
+        assert compress_starts[2] >= compress_starts[0] + 1e-9
+        queued = [
+            event.detail["queued_s"]
+            for handle in handles
+            for event in handle.events()
+            if event.kind == "phase_finished" and "queued_s" in event.detail
+        ]
+        assert queued and max(queued) > 0
+
+    def test_discard_and_clear_finished(self, tiny_dataset):
+        service = OcelotService(_config())
+        handles = [service.submit(_spec(tiny_dataset)) for _ in range(3)]
+        with pytest.raises(OrchestrationError, match="cannot discard"):
+            service.discard(handles[0].job_id)  # still pending
+        service.run_pending()
+        service.discard(handles[0].job_id)
+        assert [h.job_id for h in service.jobs()] == [h.job_id for h in handles[1:]]
+        assert service.clear_finished() == 2
+        assert service.jobs() == []
+        # Discarded handles keep their results.
+        assert handles[0].result().compression_ratio > 1.0
+
+    def test_legacy_wrapper_does_not_accumulate_jobs(self, tiny_dataset):
+        ocelot = Ocelot(_config())
+        for _ in range(3):
+            ocelot.transfer_dataset(tiny_dataset, "anvil", "cori", mode="compressed")
+        assert len(ocelot.reports()) == 3
+        assert ocelot.service.jobs() == []
+
+    def test_job_lookup_and_listing(self, tiny_dataset):
+        service = OcelotService(_config())
+        handles = [service.submit(_spec(tiny_dataset)) for _ in range(3)]
+        assert [h.job_id for h in service.jobs()] == [h.job_id for h in handles]
+        assert service.job(handles[1].job_id) is handles[1]
+        with pytest.raises(OrchestrationError, match="unknown job"):
+            service.job("job-9999")
+
+
+class TestLegacyWrapperEquivalence:
+    def test_transfer_dataset_matches_direct_orchestrator_run(self, tiny_dataset):
+        for mode in ("direct", "compressed", "grouped"):
+            via_service = Ocelot(_config()).transfer_dataset(
+                tiny_dataset, "anvil", "cori", mode=mode
+            )
+            legacy = OcelotOrchestrator(_config()).run(
+                tiny_dataset, "anvil", "cori", mode=mode
+            )
+            assert _dicts_close(via_service.as_dict(), legacy.as_dict())
+
+    def test_compare_modes_is_repeatable(self, tiny_dataset):
+        """Testbed reset between runs makes repeated comparisons identical."""
+        ocelot = Ocelot(_config())
+        first = ocelot.compare_modes(tiny_dataset, "anvil", "cori")
+        second = ocelot.compare_modes(tiny_dataset, "anvil", "cori")
+        for mode in first.reports:
+            assert _dicts_close(
+                first.reports[mode].as_dict(), second.reports[mode].as_dict()
+            )
+
+    def test_reset_clock_clears_staged_state(self, tiny_dataset):
+        ocelot = Ocelot(_config())
+        ocelot.transfer_dataset(tiny_dataset, "anvil", "cori", mode="compressed")
+        assert ocelot.testbed.endpoint("anvil").filesystem.file_count() > 0
+        ocelot.testbed.reset_clock()
+        assert ocelot.testbed.clock.now == 0.0
+        for name in ocelot.testbed.service.endpoints():
+            assert ocelot.testbed.endpoint(name).filesystem.file_count() == 0
+
+    def test_reset_clock_can_keep_files(self, tiny_dataset):
+        ocelot = Ocelot(_config())
+        ocelot.transfer_dataset(tiny_dataset, "anvil", "cori", mode="compressed")
+        staged = ocelot.testbed.endpoint("anvil").filesystem.file_count()
+        ocelot.testbed.reset_clock(clear_staged=False)
+        assert ocelot.testbed.clock.now == 0.0
+        assert ocelot.testbed.endpoint("anvil").filesystem.file_count() == staged
+
+    def test_streamed_job_through_service(self, tiny_dataset):
+        """Streamed transfer_mode jobs run through the service too."""
+        config = _config(transfer_mode="streamed", block_size=16, stream_window=8)
+        service = OcelotService(config)
+        handle = service.submit(_spec(tiny_dataset))
+        report = handle.result()
+        assert report.transfer_mode == "streamed"
+        assert report.timings.streaming_s > 0
+        phases = [e.phase for e in handle.events() if e.kind == "phase_started"]
+        assert "stream" in phases
