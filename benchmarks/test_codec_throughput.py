@@ -8,14 +8,21 @@ quantiser-code distributions and pins the perf trajectory:
 * the table-driven Huffman decoder must beat the seed per-bit decoder
   (kept as ``HuffmanCodec.decode_bitloop``) by >= 5x on a 1M-symbol
   stream;
+* the vectorised LZ77 encoder must beat the seed bytewise encoder (kept
+  as ``LZ77Codec.encode_bytewise``) by >= 10x on the structured corpus,
+  with decode-identical output — so the *encode* trendline is regressed
+  the same way decode's is;
+* the pipeline rows honour ``OCELOT_WORKER_BACKEND`` (``thread`` /
+  ``process``) so CI measures both block-worker backends;
 * every measurement is written to ``BENCH_codec.json`` next to this
   file, so future PRs have a trajectory to regress against (CI uploads
-  it as an artifact).
+  one artifact per worker backend).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -27,13 +34,31 @@ sys.path.insert(0, str(Path(__file__).parent))
 from common import print_table  # noqa: E402
 
 from repro.compression import ErrorBound, create_compressor  # noqa: E402
-from repro.compression.encoders.huffman import HuffmanCodec  # noqa: E402
+from repro.compression.encoders.huffman import (  # noqa: E402
+    MAX_CODE_LENGTH,
+    HuffmanCodebook,
+    HuffmanCodec,
+    _pack_codes,
+    _pack_codes_16,
+    symbol_frequencies,
+)
 from repro.compression.encoders.lz77 import LZ77Codec  # noqa: E402
+from repro.core.parallel import ParallelExecutor  # noqa: E402
 
 BENCH_JSON = Path(__file__).parent / "BENCH_codec.json"
 
 #: The decode-speedup floor the tentpole must hold on a 1M-symbol stream.
 MIN_DECODE_SPEEDUP = 5.0
+
+#: Vectorised LZ77 encode vs the retained bytewise encoder.  The floor is
+#: relative (the absolute MB/s on a throttled CI runner swings 2x), and
+#: far below the ~80x a quiet machine measures — it trips on a real
+#: regression, not on noise.
+MIN_ENCODE_SPEEDUP = 10.0
+
+#: Block-worker backend the pipeline rows run under (CI sets this to
+#: measure both).
+WORKER_BACKEND = os.environ.get("OCELOT_WORKER_BACKEND", "thread")
 
 _RESULTS: dict = {}
 
@@ -81,10 +106,24 @@ class TestHuffmanThroughput:
             decode_s = _time(lambda: codec.decode(payload, codebook, count))
             bitloop_s = _time(lambda: codec.decode_bitloop(payload, codebook, count), repeats=1)
             speedup = bitloop_s / decode_s
+
+            # Encode fast path: the fused bincount-OR packer (codes <= 16
+            # bits) vs the retained general chunked packer, on identical
+            # per-symbol (code, length) streams.
+            book = HuffmanCodebook.from_frequencies(
+                symbol_frequencies(symbols), max_length=MAX_CODE_LENGTH
+            )
+            codes, lens = book.lookup(symbols)
+            assert bytes(_pack_codes_16(codes, lens)) == bytes(_pack_codes(codes, lens))
+            fast_s = _time(lambda: _pack_codes_16(codes, lens))
+            slow_s = _time(lambda: _pack_codes(codes, lens))
+            encode_speedup = slow_s / fast_s
+
             rows.append(
                 {
                     "distribution": label,
                     "encode MB/s": _mbps(stream_bytes, encode_s),
+                    "pack speedup": encode_speedup,
                     "decode MB/s": _mbps(stream_bytes, decode_s),
                     "seed decode MB/s": _mbps(stream_bytes, bitloop_s),
                     "speedup": speedup,
@@ -96,10 +135,18 @@ class TestHuffmanThroughput:
                 "stream_bytes": int(stream_bytes),
                 "payload_bytes": len(payload),
                 "encode_MBps": round(_mbps(stream_bytes, encode_s), 2),
+                "encode_speedup": round(encode_speedup, 2),
                 "decode_MBps": round(_mbps(stream_bytes, decode_s), 2),
                 "seed_decode_MBps": round(_mbps(stream_bytes, bitloop_s), 2),
                 "decode_speedup": round(speedup, 2),
             }
+            # The fused packer's edge shrinks on very skewed streams
+            # (fewer payload bytes to pack); 0.8 tolerates runner noise
+            # while still tripping on a real fast-path regression.
+            assert encode_speedup >= 0.8, (
+                f"{label}: fused packer materially slower than the "
+                f"general packer ({encode_speedup:.2f}x)"
+            )
         print_table("Huffman codec throughput (1M-symbol quantiser streams)", rows)
         _RESULTS["huffman"] = huffman_results
         for row in rows:
@@ -146,33 +193,66 @@ class TestHuffmanThroughput:
         )
 
 
+def lz77_corpus(units: int = 400, seed: int = 2) -> bytes:
+    """Structured serialised-block corpus: header + noise + runs, repeated.
+
+    The repetition across units gives the encoder real cross-unit matches
+    (as serialised quantiser blocks of one file do); the noise span keeps
+    it from degenerating into a single run.
+    """
+    rng = np.random.default_rng(seed)
+    unit = (
+        b"field header "
+        + bytes(rng.integers(0, 12, 400, dtype=np.uint8))
+        + b"run" * 300
+    )
+    return unit * units
+
+
 class TestLZ77Throughput:
-    def test_vectorised_decode(self):
-        rng = np.random.default_rng(2)
-        data = b"".join(
-            [b"field header ", bytes(rng.integers(0, 12, 400, dtype=np.uint8)),
-             b"run" * 300] * 40
-        )
+    def test_vectorised_encode_and_decode(self):
+        """Vectorised encode >= 10x bytewise, decode output unchanged."""
+        data = lz77_corpus()
         codec = LZ77Codec()
-        encode_s = _time(lambda: codec.encode(data), repeats=1)
+        encode_s = _time(lambda: codec.encode(data))
         payload = codec.encode(data)
         assert codec.decode(payload) == data
         decode_s = _time(lambda: codec.decode(payload))
+
+        # The bytewise reference crawls (~0.5 MB/s), so the head-to-head
+        # runs on a prefix; the speedup assertion is *relative*, which
+        # holds still when a throttled CI runner halves every absolute
+        # number.
+        prefix = data[: 1 << 16]
+        bytewise_s = _time(lambda: codec.encode_bytewise(prefix), repeats=1)
+        vector_prefix_s = _time(lambda: codec.encode(prefix))
+        bytewise_payload = codec.encode_bytewise(prefix)
+        assert codec.decode(bytewise_payload) == prefix
+        assert codec.decode(codec.encode(prefix)) == prefix
+        encode_speedup = bytewise_s / vector_prefix_s
+
         _RESULTS["lz77"] = {
             "input_bytes": len(data),
             "token_bytes": len(payload),
             "encode_MBps": round(_mbps(len(data), encode_s), 3),
+            "bytewise_encode_MBps": round(_mbps(len(prefix), bytewise_s), 3),
+            "encode_speedup": round(encode_speedup, 2),
             "decode_MBps": round(_mbps(len(data), decode_s), 2),
         }
         print_table(
-            "LZ77 throughput",
+            "LZ77 throughput (structured 513 KiB corpus)",
             [
+                {"direction": "encode", "MB/s": _mbps(len(data), encode_s)},
                 {
-                    "direction": "encode",
-                    "MB/s": _mbps(len(data), encode_s),
+                    "direction": "encode (seed bytewise, 64 KiB)",
+                    "MB/s": _mbps(len(prefix), bytewise_s),
                 },
                 {"direction": "decode", "MB/s": _mbps(len(data), decode_s)},
             ],
+        )
+        assert encode_speedup >= MIN_ENCODE_SPEEDUP, (
+            f"vectorised LZ77 encode only {encode_speedup:.1f}x the seed "
+            f"bytewise encoder (floor {MIN_ENCODE_SPEEDUP}x)"
         )
 
 
@@ -188,9 +268,13 @@ class TestPipelineThroughput:
         bound = ErrorBound(value=1e-3, mode="abs")
         rows = []
         pipeline_results = {}
+        executor = ParallelExecutor(
+            block_workers=min(4, os.cpu_count() or 1), worker_backend=WORKER_BACKEND
+        )
         for label, shared in [("shared codebook", True), ("per-block codebooks", False)]:
             compressor = create_compressor("sz3").configure_blocks(
-                block_shape=64, shared_codebook=shared
+                block_shape=64, shared_codebook=shared,
+                block_executor=executor.map_blocks,
             )
             result = compressor.compress(field, bound)
             compress_s = _time(lambda: compressor.compress(field, bound), repeats=2)
@@ -212,7 +296,12 @@ class TestPipelineThroughput:
                 "compress_MBps": round(_mbps(field.nbytes, compress_s), 2),
                 "decompress_MBps": round(_mbps(field.nbytes, decompress_s), 2),
             }
-        print_table("sz3 pipeline throughput (384x384 float32, blocked 64)", rows)
+        pipeline_results["worker_backend"] = WORKER_BACKEND
+        print_table(
+            f"sz3 pipeline throughput (384x384 float32, blocked 64, "
+            f"{WORKER_BACKEND} workers)",
+            rows,
+        )
         shared_bytes = pipeline_results["shared codebook"]["blob_bytes"]
         per_block_bytes = pipeline_results["per-block codebooks"]["blob_bytes"]
         assert shared_bytes < per_block_bytes, (
@@ -220,7 +309,12 @@ class TestPipelineThroughput:
         )
         _RESULTS["pipeline"] = pipeline_results
 
-        payload = {"min_decode_speedup": MIN_DECODE_SPEEDUP, **_RESULTS}
+        payload = {
+            "min_decode_speedup": MIN_DECODE_SPEEDUP,
+            "min_encode_speedup": MIN_ENCODE_SPEEDUP,
+            "worker_backend": WORKER_BACKEND,
+            **_RESULTS,
+        }
         BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {BENCH_JSON}")
         assert BENCH_JSON.exists()

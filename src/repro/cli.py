@@ -52,7 +52,11 @@ def _add_block_arguments(sub: argparse.ArgumentParser) -> None:
                      help="partition each array into blocks of this edge length "
                           "and compress them independently (blob format v2)")
     sub.add_argument("--block-workers", type=_positive_int, default=1,
-                     help="threads used to (de)compress blocks concurrently")
+                     help="workers used to (de)compress blocks concurrently")
+    sub.add_argument("--worker-backend", default="thread", choices=["thread", "process"],
+                     help="how block workers run: GIL-sharing threads (default) "
+                          "or worker processes fed via shared memory; process "
+                          "mode falls back to threads when no pool can start")
     sub.add_argument("--adaptive-predictor", action="store_true",
                      help="per-block SZ3-style predictor selection "
                           "(Lorenzo vs. interpolation, keep the smaller); "
@@ -94,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--mode", default="rel", choices=["rel", "abs"])
     compress.add_argument("--scale", type=float, default=0.08)
     _add_block_arguments(compress)
+    compress.add_argument("--stage-timings", action="store_true",
+                          help="capture per-stage encode timings "
+                               "(predict+quantize / entropy / lossless), print "
+                               "them, and stamp them into the blob metadata so "
+                               "'ocelot inspect' can report them later "
+                               "(forces the thread worker backend)")
+    compress.add_argument("--output", default=None, metavar="PATH",
+                          help="also write the serialized blob to PATH "
+                               "(inspect it with 'ocelot inspect')")
     compress.add_argument("--json", action="store_true")
 
     transfer = sub.add_parser("transfer", help="simulate an end-to-end dataset transfer")
@@ -223,6 +236,24 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+_STAGE_LABELS = (
+    ("predict_quantize_s", "predict+quantize"),
+    ("entropy_s", "entropy"),
+    ("lossless_s", "lossless"),
+)
+
+
+def _format_stage_timings(timings: dict) -> str:
+    """One line of per-stage encode times with share-of-total percentages."""
+    total = sum(timings.get(key, 0.0) for key, _ in _STAGE_LABELS)
+    parts = []
+    for key, label in _STAGE_LABELS:
+        value = timings.get(key, 0.0)
+        share = f" ({value / total:.0%})" if total > 0 else ""
+        parts.append(f"{label} {format_duration(value)}{share}")
+    return " | ".join(parts)
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     if args.input:
         data = np.load(args.input)
@@ -245,12 +276,22 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         args.compressor,
         block_shape=args.block_size,
         adaptive_predictor=args.adaptive_predictor,
-        block_executor=ParallelExecutor(block_workers=args.block_workers).map_blocks,
+        block_executor=ParallelExecutor(
+            block_workers=args.block_workers, worker_backend=args.worker_backend
+        ).map_blocks,
         block_policy=policy,
         shared_codebook=args.codebook == "shared",
     )
+    if args.stage_timings:
+        if not hasattr(compressor, "collect_stage_timings"):
+            print(f"--stage-timings is not supported by {args.compressor}", file=sys.stderr)
+            return 1
+        compressor.collect_stage_timings = True
     bound = ErrorBound(value=args.error_bound, mode=args.mode)
     result = compressor.compress(data, bound, collect_quality=True)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(result.blob.to_bytes())
     payload = {
         "input": label,
         "shape": list(np.asarray(data).shape),
@@ -262,6 +303,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         "psnr_db": round(result.stats.psnr_db or 0.0, 2),
         "max_abs_error": result.stats.max_abs_error,
     }
+    stage_timings = getattr(compressor, "last_stage_timings", None)
+    if stage_timings:
+        payload["stage_timings"] = stage_timings
     if args.json:
         json.dump(payload, sys.stdout, indent=2)
         print()
@@ -271,6 +315,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
               f"{format_bytes(payload['compressed_bytes'])} ({payload['compression_ratio']}x)")
         print(f"  time: {format_duration(payload['compression_time_s'])}"
               f"  PSNR: {payload['psnr_db']} dB  max error: {payload['max_abs_error']:.3g}")
+        if stage_timings:
+            print("  encode stages: " + _format_stage_timings(stage_timings))
     return 0
 
 
@@ -282,6 +328,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         size_scale=args.size_scale,
         block_size=args.block_size,
         block_workers=args.block_workers,
+        worker_backend=args.worker_backend,
         adaptive_predictor=args.adaptive_predictor,
         shared_codebook=args.codebook == "shared",
         transfer_mode=args.transfer_mode,
@@ -394,6 +441,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         "codebook": _codebook_summary(blob),
         "blocks": entries,
     }
+    stage_timings = blob.metadata.get("stage_timings")
+    if stage_timings:
+        payload["stage_timings"] = stage_timings
     if args.json:
         json.dump(payload, sys.stdout, indent=2)
         print()
@@ -403,6 +453,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
           f"  shape: {tuple(payload['shape'])}")
     print(f"  error bound (abs): {payload['error_bound_abs']:.3g}"
           f"  serialized: {format_bytes(payload['serialized_bytes'])}")
+    if stage_timings:
+        print("  encode stages: " + _format_stage_timings(stage_timings))
     if not blob.is_blocked:
         print("  layout: whole-array (single payload section)")
         return 0

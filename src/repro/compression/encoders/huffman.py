@@ -32,8 +32,8 @@ readable by the canonical-code definition alone.
 
 from __future__ import annotations
 
-import heapq
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -68,25 +68,37 @@ def huffman_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
     """Return the (unlimited) Huffman code length in bits of each symbol.
 
     A single-symbol alphabet is assigned a 1-bit code.
+
+    Uses the two-queue construction: leaves sorted by (frequency,
+    symbol) in one queue, merged nodes in a second — merge sums are
+    non-decreasing, so the second queue stays sorted for free and each
+    step pops the two cheapest heads without heap maintenance.  Ties
+    resolve exactly as the previous heap implementation did (leaves
+    before merged nodes, older merged nodes first), so codebooks — and
+    therefore serialised blobs — are unchanged.
     """
     symbols = [s for s, f in frequencies.items() if f > 0]
     if not symbols:
         return {}
     if len(symbols) == 1:
         return {symbols[0]: 1}
-    # Heap entries: (frequency, tie_breaker, [list of (symbol, depth)]).
-    heap: List[Tuple[int, int, List[Tuple[int, int]]]] = []
-    for tie, sym in enumerate(sorted(symbols)):
-        heapq.heappush(heap, (frequencies[sym], tie, [(sym, 0)]))
-    tie = len(symbols)
-    while len(heap) > 1:
-        f1, _, group1 = heapq.heappop(heap)
-        f2, _, group2 = heapq.heappop(heap)
-        merged = [(sym, depth + 1) for sym, depth in group1 + group2]
-        heapq.heappush(heap, (f1 + f2, tie, merged))
-        tie += 1
-    _, _, group = heap[0]
-    return {sym: depth for sym, depth in group}
+    # Queue entries: (frequency, [list of (symbol, depth)]).
+    leaves = deque(
+        (frequencies[sym], [(sym, 0)])
+        for sym in sorted(symbols, key=lambda s: (frequencies[s], s))
+    )
+    merged: deque = deque()
+
+    def pop_min():
+        if merged and (not leaves or merged[0][0] < leaves[0][0]):
+            return merged.popleft()
+        return leaves.popleft()
+
+    for _ in range(len(symbols) - 1):
+        f1, group1 = pop_min()
+        f2, group2 = pop_min()
+        merged.append((f1 + f2, [(sym, depth + 1) for sym, depth in group1 + group2]))
+    return {sym: depth for sym, depth in merged[0][1]}
 
 
 def length_limited_code_lengths(
@@ -536,6 +548,8 @@ class HuffmanCodec:
         if looked_up is None:
             return None
         codes, lens = looked_up
+        if book.max_length() <= 16:
+            return _pack_codes_16(codes, lens)
         return _pack_codes(codes, lens)
 
     def decode(self, payload: bytes, codebook_bytes: bytes, count: int) -> np.ndarray:
@@ -625,6 +639,58 @@ class HuffmanCodec:
 #: Symbols per chunk in :func:`_pack_codes`; bounds the transient
 #: ``np.repeat`` expansions to a few MB regardless of stream length.
 _PACK_CHUNK = 1 << 16
+
+#: Symbols per chunk in :func:`_pack_codes_16`; bounds the transient
+#: per-symbol arrays to a few tens of MB regardless of stream length.
+_PACK16_CHUNK = 1 << 21
+
+
+def _pack_codes_16(codes: np.ndarray, lengths: np.ndarray) -> bytes:
+    """:func:`_pack_codes` fast path for books with codes of <= 16 bits.
+
+    Works at byte granularity instead of expanding every bit: a 16-bit
+    code at an arbitrary bit phase spans at most three output bytes, so
+    each code is left-aligned into a 24-bit lane and its three byte
+    slices are summed into the output with ``np.bincount``.  Distinct
+    codes touch disjoint bits of a shared byte, so summation *is*
+    bitwise OR, and the float64 sums bincount produces are exact.  The
+    result is byte-identical to :func:`_pack_codes` at ~0.5 passes per
+    stream bit rather than ~6.
+    """
+    lens = np.asarray(lengths)
+    l64 = lens.astype(np.int64)
+    total_bits = int(l64.sum())
+    if total_bits == 0:
+        return b""
+    codes = np.asarray(codes)
+    ends = np.cumsum(l64)
+    total_bytes = (total_bits + 7) >> 3
+    mlen = total_bytes + 2
+    acc = np.zeros(mlen, dtype=np.float64)
+    m = codes.size
+    for start in range(0, m, _PACK16_CHUNK):
+        stop = min(start + _PACK16_CHUNK, m)
+        off = ends[start:stop] - l64[start:stop]
+        r = (off & 7).astype(np.uint32)
+        val = codes[start:stop].astype(np.uint32) << (
+            np.uint32(24) - lens[start:stop].astype(np.uint32) - r
+        )
+        byte0 = off >> 3
+        first = int(byte0[0])
+        span = int(byte0[-1]) + 3 - first
+        rel = byte0 - first
+        acc[first : first + span] += np.bincount(
+            rel, weights=(val >> np.uint32(16)).astype(np.float64), minlength=span
+        )
+        acc[first : first + span] += np.bincount(
+            rel + 1,
+            weights=((val >> np.uint32(8)) & np.uint32(255)).astype(np.float64),
+            minlength=span,
+        )
+        acc[first : first + span] += np.bincount(
+            rel + 2, weights=(val & np.uint32(255)).astype(np.float64), minlength=span
+        )
+    return acc[:total_bytes].astype(np.uint8).tobytes()
 
 
 def _pack_codes(codes: np.ndarray, lengths: np.ndarray) -> bytes:

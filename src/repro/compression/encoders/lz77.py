@@ -11,17 +11,35 @@ Decoding parses the token stream with one structured ``np.frombuffer``
 and reconstructs the output with bulk slice copies: runs of literal-only
 tokens append in one slice, non-overlapping matches copy in one slice,
 and overlapping matches (the RLE case, ``offset < length``) replicate
-their period pattern instead of appending byte by byte.  Encoding keeps
-a *bounded* prefix index: candidate positions per 3-byte prefix are
-pruned of entries that fell out of the sliding window and capped at
-``max_candidates``, so match search stays O(window-bounded work) and the
-index cannot grow with the input.
+their period pattern instead of appending byte by byte.
+
+Encoding is vectorised as a tiered matcher over the whole input:
+
+1. globally dominant offsets (byte runs, periodic structure) are
+   detected from a content-defined sample of positions whose chain
+   links vote on their separation;
+2. every position is scored against each dominant offset with an O(n)
+   equality-run array, packed so one ``np.maximum`` keeps the best
+   (longest, then nearest) match per position;
+3. the residual positions go through a hash-chain matcher (3-byte
+   prefix keys linked to their previous occurrence, the array analogue
+   of zstd's hash chains), walked a bounded number of hops for all
+   positions at once with windowed pruning and a "must beat the current
+   best" probe; match lengths come from an active-set byte-extension
+   loop whose survivors shrink geometrically;
+4. a greedy parse with a single lazy step walks the precomputed match
+   table (one cheap Python iteration per *match token*, not per byte)
+   and the literal/match token stream is assembled with array gathers.
+
+The token format is unchanged and ``decode`` inverts both encoders; the
+original per-byte scanner is retained as :meth:`~LZ77Codec.encode_bytewise`
+for equivalence testing and as an executable specification.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -32,6 +50,47 @@ __all__ = ["LZ77Codec"]
 _TOKEN = struct.Struct("<HBB")  # offset (u16), length (u8), next literal (u8)
 
 _TOKEN_DTYPE = np.dtype([("off", "<u2"), ("len", "u1"), ("lit", "u1")])
+
+#: Inputs shorter than this skip the vectorised matcher; the per-byte
+#: encoder is faster than the fixed NumPy setup cost at this scale.
+_VECTOR_MIN_BYTES = 64
+
+#: Hash-chain hops walked per position.  Collisions are verified against
+#: the data, so depth trades match quality for speed, never correctness.
+_CHAIN_DEPTH = 8
+
+#: Positions whose best match has reached this length stop walking the
+#: chain: a longer match changes the token count marginally, and the
+#: pruning is what keeps deep hops operating on small active sets.
+_GOOD_ENOUGH = 48
+
+#: An offset must back this fraction of a hop's candidate pairs (and at
+#: least this many) before the O(n) per-offset equality-run path is
+#: built for it.
+_DOMINANT_MIN = 64
+_DOMINANT_SHIFT = 5  # threshold = max(_DOMINANT_MIN, pairs >> _DOMINANT_SHIFT)
+
+#: At most this many per-offset run arrays are built per chain hop.
+_DOMINANT_MAX = 4
+
+#: Inputs below this size skip the sampled dominant-offset detection and
+#: go straight to the chain pass — sampling needs enough data to vote.
+_SAMPLE_MIN_BYTES = 4096
+
+#: Global dominant offsets (tier 1/2) are detected from ~1/8 of the
+#: positions (a 1/16 byte-residue sample unioned with a stride-16 one)
+#: and must back at least this many sampled chain links.
+_SAMPLE_DOMINANT_MIN = 16
+
+#: After the dominant-offset pass, positions whose best match is still
+#: shorter than this go through the full hash-chain pass.  Larger values
+#: improve the parse at the cost of a bigger residual set.
+_RESIDUAL_LEN = 12
+
+#: Byte cap of the active-set extension loop.  Long matches at dominant
+#: offsets are unaffected (they use the run arrays); this only bounds the
+#: rare long match at a cold offset.
+_EXTEND_CAP = 128
 
 
 class LZ77Codec:
@@ -59,15 +118,378 @@ class LZ77Codec:
         self.min_match = min_match
         self.max_candidates = max_candidates
 
+    # ------------------------------------------------------------------ #
+    # Vectorised encode
+    # ------------------------------------------------------------------ #
     def encode(self, data: bytes) -> bytes:
         """Compress ``data`` into a token stream (prefixed with its length)."""
         raw = bytes(data)
         n = len(raw)
+        if n < _VECTOR_MIN_BYTES:
+            return self.encode_bytewise(raw)
+        arr = np.frombuffer(raw, dtype=np.uint8)
+        return struct.pack("<I", n) + self._emit_tokens(arr, self._find_matches(arr))
+
+    def _find_matches(self, arr: np.ndarray) -> np.ndarray:
+        """Best match per position as ``(length << 16) | (0xFFFF - offset)``.
+
+        The packed form makes "longer wins, smaller offset breaks ties"
+        a single ``np.maximum`` and lets every tier share one int32
+        score array; 0xFFFF encodes "length 0" and any real match beats
+        it.  Three tiers fill it in:
+
+        Tier 1 detects globally dominant offsets (periodic structure,
+        byte runs) from a sampled chain pass.  Tier 2 scores *every*
+        position against those offsets with O(n) equality-run arrays.
+        Tier 3 runs the hash-chain matcher over the residual positions
+        still lacking a decent match — for data without dominant offsets
+        that residual is the whole input and tier 3 *is* the matcher.
+        """
+        n = arr.size
+        m = n - 2  # positions with a full 3-byte prefix
+        run_cache: Dict[int, np.ndarray] = {}
+        idx_full = np.arange(n, dtype=np.int32)
+
+        best = None
+        # Ascending order: the first (smallest) offset's scores are
+        # written straight into ``best``; larger offsets then fold in
+        # over a fully initialised suffix.
+        for k in sorted(self._dominant_offsets(arr, m)):
+            s = self._offset_scores(arr, k, run_cache, idx_full)
+            if best is None:
+                best = np.empty(n, dtype=np.int32)
+                best[:k] = 0xFFFF
+                best[k:] = s
+            else:
+                np.maximum(best[k:], s, out=best[k:])
+        if best is None:
+            best = np.full(n, 0xFFFF, dtype=np.int32)
+
+        residual_cut = np.int32(max(self.min_match, _RESIDUAL_LEN) << 16)
+        rpos = np.flatnonzero(best[:m] < residual_cut).astype(np.int32)
+        if rpos.size:
+            self._chain_pass(arr, rpos, best, run_cache, idx_full)
+        return best
+
+    def _dominant_offsets(self, arr: np.ndarray, m: int) -> List[int]:
+        """Detect globally dominant match offsets from a sampled chain pass.
+
+        Sampling is content-defined (positions whose byte has four zero
+        low bits), so the two ends of a repeated fragment land in the
+        sample together and their true offset shows up in the sampled
+        chain links; a plain stride sample is unioned in as a fallback
+        for content where the chosen byte residue never occurs.
+        """
+        if m < _SAMPLE_MIN_BYTES:
+            return []
+        idx = np.flatnonzero((arr[:m] & np.uint8(15)) == 0).astype(np.int32)
+        if idx.size > m >> 2:  # degenerate content: one residue dominates
+            idx = idx[::4]
+        stride = np.arange(0, m, 16, dtype=np.int32)
+        idx = np.concatenate([idx, stride])
+        key_s = (
+            (arr[idx].astype(np.int64) << 16)
+            | (arr[idx + 1].astype(np.int64) << 8)
+            | arr[idx + 2]
+        )
+        comb = np.sort((key_s << 32) | idx)
+        spos = (comb & np.int64(0xFFFFFFFF)).astype(np.int32)
+        ks = comb >> 32
+        link = np.flatnonzero(ks[1:] == ks[:-1])
+        offs = spos[link + 1] - spos[link]
+        offs = offs[(offs >= 1) & (offs <= self.window_size)]
+        if not offs.size:
+            return []
+        vals, cnts = np.unique(offs, return_counts=True)
+        keep = cnts >= max(_SAMPLE_DOMINANT_MIN, offs.size >> _DOMINANT_SHIFT)
+        vals, cnts = vals[keep], cnts[keep]
+        if vals.size > _DOMINANT_MAX:
+            top = np.argsort(cnts)[-_DOMINANT_MAX:]
+            vals = vals[top]
+        return [int(v) for v in vals]
+
+    def _offset_scores(
+        self,
+        arr: np.ndarray,
+        k: int,
+        run_cache: Dict[int, np.ndarray],
+        idx_full: np.ndarray,
+    ) -> np.ndarray:
+        """Packed match scores of every position against offset ``k``.
+
+        Entry ``j`` scores position ``j + k`` matching back ``k`` bytes:
+        ``(run << 16) | (0xFFFF - k)`` where ``run`` is the equality-run
+        length of ``arr[j:]`` vs ``arr[j+k:]``, computed with the
+        next-mismatch-index trick — equal lanes get ``idx + max_match``
+        so a reversed min-accumulate simultaneously finds the next
+        mismatch and clamps runs to ``max_match``; the end-of-input
+        limit is inherent (a run cannot extend past the shorter slice).
+        """
+        s = run_cache.get(k)
+        if s is None:
+            eq = np.equal(arr[k:], arr[:-k])
+            sz = eq.size
+            idx = idx_full[:sz]
+            s = idx + (eq.view(np.uint8) * np.uint8(self.max_match))
+            rv = s[::-1]
+            np.minimum.accumulate(rv, out=rv)
+            s -= idx
+            # An all-equal tail has no mismatch to stop at; clamp the
+            # last few runs to the bytes actually remaining.
+            t = min(self.max_match, sz)
+            np.minimum(s[sz - t :], np.arange(t, 0, -1, dtype=np.int32), out=s[sz - t :])
+            np.left_shift(s, np.int32(16), out=s)
+            s |= np.int32(0xFFFF - k)
+            run_cache[k] = s
+        return s
+
+    def _chain_pass(
+        self,
+        arr: np.ndarray,
+        rpos: np.ndarray,
+        best: np.ndarray,
+        run_cache: Dict[int, np.ndarray],
+        idx_full: np.ndarray,
+    ) -> None:
+        """Hash-chain match search over the position subset ``rpos``.
+
+        Links every subset position to its nearest predecessor in the
+        subset with the same key hash — sorting ``(hash << 32 | rank)``
+        groups equal hashes while keeping ranks ordered, so each
+        element's left sort-neighbour *is* its chain predecessor (one
+        int64 radix sort, ~3x cheaper than a stable argsort).  Chains
+        are then walked a bounded number of hops for all positions at
+        once, with windowed pruning, an exact-key compare that kills
+        hash collisions, and a "must beat the current best" byte probe.
+        """
+        n = arr.size
+        r = rpos.size
+        key_r = (
+            (arr[rpos].astype(np.uint32) << np.uint32(16))
+            | (arr[rpos + 1].astype(np.uint32) << np.uint32(8))
+            | arr[rpos + 2]
+        )
+        bits = min(17, max(10, int(r).bit_length()))
+        h = (key_r * np.uint32(2654435761)) >> np.uint32(32 - bits)
+        comb = np.sort((h.astype(np.int64) << 32) | np.arange(r, dtype=np.int64))
+        crank = (comb & np.int64(0xFFFFFFFF)).astype(np.int32)
+        ch = comb >> 32
+        prev = np.full(r, -1, dtype=np.int32)
+        link = np.flatnonzero(ch[1:] == ch[:-1])
+        prev[crank[link + 1]] = crank[link]
+
+        window = np.int32(self.window_size)
+        good16 = np.int32(min(self.max_match, _GOOD_ENOUGH) << 16)
+        # Depth 1: nearest in-window predecessor with an exact key match.
+        cnd = prev
+        rpc = rpos[cnd]
+        ok = (cnd >= 0) & (rpos - rpc <= window) & (key_r == key_r[cnd])
+        act = np.flatnonzero(ok).astype(np.int32)
+        cnd = cnd[act]
+        if act.size:
+            self._score_pairs(arr, rpos[act], rpos[cnd], best, run_cache, idx_full)
+
+        for _ in range(min(self.max_candidates, _CHAIN_DEPTH) - 1):
+            if not act.size:
+                break
+            cnd = prev[cnd]
+            rpa = rpos[act]
+            rpc = rpos[cnd]
+            keep = np.flatnonzero(
+                (cnd >= 0) & (rpa - rpc <= window) & (best[rpa] < good16)
+            )
+            if not keep.size:
+                break
+            act = act[keep]
+            cnd = cnd[keep]
+            rpa = rpa[keep]
+            rpc = rpc[keep]
+            cur = best[rpa] >> np.int32(16)
+            # A candidate can only matter if it beats the best so far:
+            # exact key match plus a probe of the byte just past the
+            # current best length (index clamped; a false positive only
+            # costs a scoring pass, never correctness).
+            pv = np.minimum(rpa + cur, np.int32(n - 1))
+            pc = np.minimum(rpc + cur, np.int32(n - 1))
+            score = np.flatnonzero((key_r[act] == key_r[cnd]) & (arr[pv] == arr[pc]))
+            improved = 0
+            if score.size:
+                improved = self._score_pairs(
+                    arr, rpa[score], rpc[score], best, run_cache, idx_full
+                )
+            # Deeper hops only pay off while they still improve matches;
+            # on match-poor data (near-random residuals) they re-score
+            # large active sets for nothing, so stop once a whole hop
+            # moved less than ~1.5% of it.
+            if improved < max(32, act.size >> 6):
+                break
+
+    def _score_pairs(
+        self,
+        arr: np.ndarray,
+        vi: np.ndarray,
+        ci: np.ndarray,
+        best: np.ndarray,
+        run_cache: Dict[int, np.ndarray],
+        idx_full: np.ndarray,
+    ) -> int:
+        """Measure match lengths for candidate pairs and fold in improvements.
+
+        Returns the number of positions whose best match improved.
+        """
+        n = arr.size
+        off = vi - ci
+        lim = np.minimum(np.int32(self.max_match), np.int32(n) - vi)
+        length = None
+        handled = None
+        # The O(n) run-array path only pays off when an offset backs a
+        # pair count in proportion to the input size.
+        run_worthwhile = max(_DOMINANT_MIN, vi.size >> _DOMINANT_SHIFT, n >> 9)
+        if vi.size >= _DOMINANT_MIN:
+            counts = np.bincount(off)
+            dominant = np.flatnonzero(counts >= run_worthwhile)
+            if dominant.size > _DOMINANT_MAX:
+                dominant = dominant[np.argsort(counts[dominant])][-_DOMINANT_MAX:]
+            if dominant.size:
+                length = np.zeros(vi.size, dtype=np.int32)
+                handled = np.zeros(vi.size, dtype=bool)
+                for k in dominant.tolist():
+                    runs = self._offset_scores(arr, k, run_cache, idx_full)
+                    sel = np.flatnonzero(off == k)
+                    # Scores are packed; the run length is the high half.
+                    # End-of-input is inherent in the run construction.
+                    length[sel] = np.minimum(runs[ci[sel]] >> np.int32(16), lim[sel])
+                    handled[sel] = True
+        if length is None:
+            length = self._extend_pairs(arr, vi, ci, lim)
+        else:
+            rest = np.flatnonzero(~handled)
+            if rest.size:
+                length[rest] = self._extend_pairs(arr, vi[rest], ci[rest], lim[rest])
+        better = np.flatnonzero(length > (best[vi] >> np.int32(16)))
+        if better.size:
+            upd = vi[better]
+            best[upd] = (length[better] << np.int32(16)) | (
+                np.int32(0xFFFF) - off[better]
+            )
+        return int(better.size)
+
+    def _extend_pairs(
+        self, arr: np.ndarray, p: np.ndarray, c: np.ndarray, lims: np.ndarray
+    ) -> np.ndarray:
+        """Byte-at-a-time match extension over a shrinking active set.
+
+        The first three bytes are already verified by the exact-key
+        compare, so extension starts at byte 3.
+        """
+        res = np.zeros(p.size, dtype=np.int32)
+        res[:] = np.minimum(np.int32(3), lims)
+        act = np.arange(p.size, dtype=np.int64)
+        cap = min(self.max_match, _EXTEND_CAP)
+        k = 3
+        while act.size and k < cap:
+            act = act[k < lims[act]]
+            if not act.size:
+                break
+            act = act[arr[p[act] + k] == arr[c[act] + k]]
+            k += 1
+            res[act] = k
+        return res
+
+    def _emit_tokens(self, arr: np.ndarray, best: np.ndarray) -> bytes:
+        """Greedy parse (with one lazy step) of the packed match table.
+
+        Scored lengths are already clamped to the end-of-input limit, so
+        they can be used as-is.  The Python loop below runs once per
+        *match token*, not per byte: ``next_match`` jumps it across
+        literal runs in O(1).  The token array is then assembled from
+        the literal gaps between matches — all per-token work scales
+        with the token count, not the input size.
+        """
+        n = arr.size
+        is_match = best >= np.int32(self.min_match << 16)
+        if not is_match.any():
+            tokens = np.zeros(n, dtype=_TOKEN_DTYPE)
+            tokens["lit"] = arr
+            return tokens.tobytes()
+        match_pos = np.where(is_match, np.arange(n, dtype=np.int32), np.int32(n))
+        next_match = np.minimum.accumulate(match_pos[::-1])[::-1]
+        matches: List[int] = []
+        advances: List[int] = []
+        append = matches.append
+        append_adv = advances.append
+        max_match = self.max_match
+        p = 0
+        while p < n:
+            j = int(next_match[p])
+            if j >= n:
+                break
+            lj = int(best[j]) >> 16
+            if lj < max_match and j + 1 < n:
+                lj1 = int(best[j + 1]) >> 16
+                if lj1 > lj:
+                    j += 1  # lazy step: the next position starts a longer match
+                    lj = lj1
+            # A match to the very end has no following literal; it is
+            # emitted one byte shorter with the final byte as literal.
+            adv = lj if j + lj == n else lj + 1
+            append(j)
+            append_adv(adv)
+            p = j + adv
+        k_t = len(matches)
+        mp = np.asarray(matches, dtype=np.int64)
+        adv_mp = np.asarray(advances, dtype=np.int64)
+        packed_mp = best[mp]
+        bl_mp = packed_mp >> np.int32(16)
+        off_mp = np.int32(0xFFFF) - (packed_mp & np.int32(0xFFFF))
+        at_end = mp + bl_mp == n
+        # Literal gaps: before the first match, between matches, after
+        # the last.  Gap i spans [gs[i], ge[i]).
+        gs = np.empty(k_t + 1, dtype=np.int64)
+        gs[0] = 0
+        gs[1:] = mp + adv_mp
+        ge = np.empty(k_t + 1, dtype=np.int64)
+        ge[:k_t] = mp
+        ge[k_t] = n
+        gap_lens = ge - gs
+        lit_total = int(gap_lens.sum())
+        match_rows = np.cumsum(gap_lens[:k_t]) + np.arange(k_t, dtype=np.int64)
+        tokens = np.zeros(lit_total + k_t, dtype=_TOKEN_DTYPE)
+        tokens["off"][match_rows] = off_mp.astype(np.uint16)
+        tokens["len"][match_rows] = np.where(at_end, bl_mp - 1, bl_mp).astype(np.uint8)
+        tokens["lit"][match_rows] = arr[np.minimum(mp + bl_mp, n - 1)]
+        if lit_total:
+            # Positions of all literal bytes, gap by gap: a stepper array
+            # of ones with each gap's start spliced in at its boundary
+            # cumsums into the concatenation of the gap ranges.
+            nzi = np.flatnonzero(gap_lens)
+            g2s = gs[nzi]
+            g2l = gap_lens[nzi]
+            steps = np.ones(lit_total, dtype=np.int64)
+            steps[0] = g2s[0]
+            bnd = np.cumsum(g2l)[:-1]
+            steps[bnd] = g2s[1:] - (g2s[:-1] + g2l[:-1]) + 1
+            lit_pos = np.cumsum(steps)
+            lit_rows = np.ones(lit_total + k_t, dtype=bool)
+            lit_rows[match_rows] = False
+            tokens["lit"][lit_rows] = arr[lit_pos]
+        return tokens.tobytes()
+
+    # ------------------------------------------------------------------ #
+    # Reference per-byte encoder
+    # ------------------------------------------------------------------ #
+    def encode_bytewise(self, data: bytes) -> bytes:
+        """Reference per-byte encoder (the pre-vectorisation implementation).
+
+        Kept as an executable specification: equivalence tests check that
+        :meth:`encode` and this method produce token streams that decode
+        to identical bytes.  It maintains a bounded prefix index —
+        candidate positions per 3-byte prefix, pruned of entries that
+        slid out of the window and capped at ``max_candidates``.
+        """
+        raw = bytes(data)
+        n = len(raw)
         tokens: List[Tuple[int, int, int]] = []
-        # Index of 3-byte prefixes -> candidate positions, for fast match
-        # search.  Each candidate list is pruned of positions that slid
-        # out of the window and capped at ``max_candidates``, bounding
-        # both the per-position search and the index's memory.
         prefix_index: dict = {}
         pos = 0
         while pos < n:
@@ -99,13 +521,16 @@ class LZ77Codec:
             else:
                 tokens.append((0, 0, raw[pos]))
                 advance = 1
-            # Register prefixes of the region we just consumed.
+            # Register prefixes of the region we just consumed.  Pruning
+            # uses its own name: it previously shadowed ``window_start``,
+            # leaving the match-search cutoff pointing at the position of
+            # the last pruned entry instead of the current one.
             for p in range(pos, min(pos + advance, n - 2)):
                 entries = prefix_index.setdefault(raw[p : p + 3], [])
                 entries.append(p)
                 if len(entries) > self.max_candidates:
-                    window_start = max(0, p - self.window_size)
-                    live = [q for q in entries if q >= window_start]
+                    prune_start = max(0, p - self.window_size)
+                    live = [q for q in entries if q >= prune_start]
                     prefix_index[raw[p : p + 3]] = live[-self.max_candidates :]
             pos += advance
         out = bytearray(struct.pack("<I", n))

@@ -11,6 +11,7 @@ paper.
 from __future__ import annotations
 
 import base64
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -39,8 +40,102 @@ _ENTROPY_STAGES = ("huffman", "none")
 
 #: A callable mapping per-block work over a collection of items; the
 #: orchestrator injects :meth:`repro.core.parallel.ParallelExecutor.map_blocks`
-#: here so blocks of one file compress/decompress concurrently.
+#: here so blocks of one file compress/decompress concurrently.  When the
+#: injected mapper is a *bound method* of a process-backed executor, the
+#: blocked compress path upgrades itself to the executor's process pool
+#: (see :meth:`PredictionPipelineCompressor._encode_blocks_process`).
 BlockMapper = Callable[[Callable[[Any], Any], Sequence[Any]], List[Any]]
+
+
+# ---------------------------------------------------------------------- #
+# Process-pool block workers
+#
+# Worker processes cannot receive closures, so the process-backed encode
+# path ships an explicit payload (codec configuration + a descriptor of
+# the input array) through the pool initializer and exposes its per-block
+# work as the module-level functions below.  Each worker rebuilds the
+# pipeline once — fresh Huffman codec, fresh lossless backend — and maps
+# the input array either from POSIX shared memory (one copy serves every
+# worker) or from pickled bytes when shared memory is unavailable.
+# ---------------------------------------------------------------------- #
+
+#: One cached ``(payload, pipeline, array, plan, shm)`` tuple per worker.
+#: Pools live for a single compress call, so a single slot suffices; the
+#: identity check guards against a (fork-inherited) stale entry.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _attach_payload_array(payload: Dict[str, Any]):
+    """Materialise the input array described by ``payload`` in a worker."""
+    shape = tuple(payload["shape"])
+    dtype = np.dtype(payload["dtype"])
+    if payload.get("shm_name"):
+        from multiprocessing import resource_tracker, shared_memory
+
+        # The parent owns the segment's lifetime.  Attaching would
+        # normally *register* it with the resource tracker too, and since
+        # forked workers share the parent's tracker (its cache is a set),
+        # any worker exiting would unlink the segment under everyone
+        # else.  Python 3.13 grew ``track=False`` for exactly this; on
+        # older versions the registration is suppressed by hand.
+        original_register = resource_tracker.register
+
+        def _skip_shm(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            shm = shared_memory.SharedMemory(name=payload["shm_name"])
+        finally:
+            resource_tracker.register = original_register
+        return np.ndarray(shape, dtype=dtype, buffer=shm.buf), shm
+    return np.frombuffer(payload["raw"], dtype=dtype).reshape(shape), None
+
+
+def _block_worker_state(payload: Dict[str, Any]):
+    global _WORKER_STATE
+    if _WORKER_STATE is None or _WORKER_STATE[0] is not payload:
+        pipeline = PredictionPipelineCompressor(
+            payload["predictor"],
+            config=payload["config"],
+            name=payload["name"],
+            block_shape=payload["block_shape"],
+            adaptive_predictor=payload["adaptive_predictor"],
+            shared_codebook=payload["shared_codebook"],
+        )
+        arr, shm = _attach_payload_array(payload)
+        plan = BlockPlan.partition(arr.shape, payload["block_shape"])
+        _WORKER_STATE = (payload, pipeline, arr, plan, shm)
+    _, pipeline, arr, plan, _ = _WORKER_STATE
+    return pipeline, arr, plan
+
+
+def _encode_block_worker(payload: Dict[str, Any], spec: BlockSpec):
+    """Per-block-codebook mode: fully encode one block in a worker."""
+    pipeline, arr, plan = _block_worker_state(payload)
+    return pipeline.encode_one_block(arr, plan, spec, payload["error_bound_abs"])
+
+
+def _choose_block_worker(payload: Dict[str, Any], spec: BlockSpec):
+    """Shared-codebook phase A: predictor selection + quantisation only."""
+    pipeline, arr, plan = _block_worker_state(payload)
+    name, encoding, _ = pipeline._choose_block_encoding(
+        plan.extract(arr, spec), payload["error_bound_abs"]
+    )
+    return name, encoding
+
+
+def _finish_block_worker(payload: Dict[str, Any], task: tuple):
+    """Shared-codebook phase B: serialise one encoding against the book."""
+    spec, name, encoding, book_bytes = task
+    pipeline, _, _ = _block_worker_state(payload)
+    book = HuffmanCodebook.deserialize(book_bytes) if book_bytes else None
+    inner, used_shared = pipeline._serialize_encoding_ex(encoding, book)
+    return (
+        pipeline._block_entry(spec, name, used_shared),
+        pipeline._lossless.compress(inner),
+    )
 
 
 @dataclass
@@ -91,6 +186,18 @@ class PredictionPipelineCompressor(Compressor):
         #: header, and encode every block against it (per-block codebooks
         #: remain the fallback for blocks whose alphabet escapes it).
         self.shared_codebook = bool(shared_codebook)
+        #: Opt-in per-stage encode timing (predict+quantize / entropy /
+        #: lossless).  A debugging aid for hot-spot attribution (surfaced
+        #: by ``ocelot inspect`` / ``ocelot compress --stage-timings``):
+        #: collection forces the thread path — worker processes cannot
+        #: cheaply report wall time back — and stamps the totals into the
+        #: blob's metadata, so it is off by default to keep blobs
+        #: byte-reproducible across runs and backends.
+        self.collect_stage_timings = False
+        #: Stage totals of the most recent :meth:`compress_array` call
+        #: (``None`` until one runs with collection enabled).
+        self.last_stage_timings: Optional[Dict[str, float]] = None
+        self._stage_events: List[Tuple[str, float]] = []
         self._huffman = HuffmanCodec()
         self._lossless: LosslessBackend = get_lossless_backend(
             self.config.lossless_backend, **self.config.lossless_options
@@ -125,12 +232,26 @@ class PredictionPipelineCompressor(Compressor):
     # ------------------------------------------------------------------ #
     def compress_array(self, data: np.ndarray, error_bound_abs: float) -> CompressedBlob:
         arr = np.asarray(data)
+        if self.collect_stage_timings:
+            self._stage_events = []
+            self.last_stage_timings = None
         if self.block_shape is not None and arr.ndim > 0:
-            return self._compress_blocked(arr, error_bound_abs)
+            blob = self._compress_blocked(arr, error_bound_abs)
+        else:
+            blob = self._compress_whole(arr, error_bound_abs)
+        if self.collect_stage_timings:
+            self.last_stage_timings = self._finalize_stage_timings()
+            blob.metadata["stage_timings"] = dict(self.last_stage_timings)
+        return blob
+
+    def _compress_whole(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
         dtype = str(arr.dtype)
+        start = time.perf_counter()
         encoding = self.predictor.encode(arr, error_bound_abs)
+        if self.collect_stage_timings:
+            self._stage_events.append(("predict_quantize_s", time.perf_counter() - start))
         inner = self._serialize_encoding(encoding)
-        payload = self._lossless.compress(inner)
+        payload = self._compress_lossless(inner)
         outer = SectionContainer(
             header={
                 "predictor": self.predictor.name,
@@ -181,6 +302,40 @@ class PredictionPipelineCompressor(Compressor):
         if self.block_executor is not None and len(items) > 1:
             return list(self.block_executor(func, items))
         return [func(item) for item in items]
+
+    # ------------------------------------------------------------------ #
+    # Per-stage encode timing (opt-in)
+    # ------------------------------------------------------------------ #
+    _STAGE_KEYS = ("predict_quantize_s", "entropy_s", "lossless_s")
+
+    def _timed_encode_block(
+        self, predictor: Predictor, block: np.ndarray, error_bound_abs: float
+    ) -> PredictorOutput:
+        """``predictor.encode_block`` attributed to predict+quantize."""
+        if not self.collect_stage_timings:
+            return predictor.encode_block(block, error_bound_abs)
+        start = time.perf_counter()
+        encoding = predictor.encode_block(block, error_bound_abs)
+        self._stage_events.append(("predict_quantize_s", time.perf_counter() - start))
+        return encoding
+
+    def _compress_lossless(self, data: bytes) -> bytes:
+        """``self._lossless.compress`` attributed to the lossless stage."""
+        if not self.collect_stage_timings:
+            return self._lossless.compress(data)
+        start = time.perf_counter()
+        out = self._lossless.compress(data)
+        self._stage_events.append(("lossless_s", time.perf_counter() - start))
+        return out
+
+    def _finalize_stage_timings(self) -> Dict[str, float]:
+        # ``list.append`` is atomic under the GIL, so threaded block
+        # workers accumulate events without a lock; summing happens here,
+        # once, after the fan-out has drained.
+        totals = {key: 0.0 for key in self._STAGE_KEYS}
+        for stage, elapsed in self._stage_events:
+            totals[stage] += elapsed
+        return {key: round(value, 6) for key, value in totals.items()}
 
     def _backend_for(self, blob: CompressedBlob) -> LosslessBackend:
         backend_name = blob.container.header.get("lossless_backend", self._lossless.name)
@@ -259,15 +414,15 @@ class PredictionPipelineCompressor(Compressor):
         """
         chosen = self._policy_predictor(block, error_bound_abs)
         if chosen is not None:
-            return chosen.name, chosen.encode_block(block, error_bound_abs), None
+            return chosen.name, self._timed_encode_block(chosen, block, error_bound_abs), None
         candidates = self._candidate_predictors(block)
         if len(candidates) == 1:
             predictor = candidates[0]
-            return predictor.name, predictor.encode_block(block, error_bound_abs), None
+            return predictor.name, self._timed_encode_block(predictor, block, error_bound_abs), None
         best: Optional[Tuple[str, PredictorOutput, bytes]] = None
         for predictor in candidates:
-            encoding = predictor.encode_block(block, error_bound_abs)
-            payload = self._lossless.compress(self._serialize_encoding(encoding))
+            encoding = self._timed_encode_block(predictor, block, error_bound_abs)
+            payload = self._compress_lossless(self._serialize_encoding(encoding))
             if best is None or len(payload) < len(best[2]):
                 best = (predictor.name, encoding, payload)
         assert best is not None
@@ -306,9 +461,9 @@ class PredictionPipelineCompressor(Compressor):
         used_shared = False
         if shared_book is not None:
             inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
-            payload = self._lossless.compress(inner)
+            payload = self._compress_lossless(inner)
         elif payload is None:
-            payload = self._lossless.compress(self._serialize_encoding(encoding))
+            payload = self._compress_lossless(self._serialize_encoding(encoding))
         return self._block_entry(spec, name, used_shared), payload
 
     def measure_block_encoding(
@@ -409,8 +564,141 @@ class PredictionPipelineCompressor(Compressor):
             return None
         return HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
 
+    def _process_block_executor(self):
+        """The process-backed executor behind ``block_executor``, if any.
+
+        The ``BlockMapper`` injection point stays a plain callable, so the
+        process capability is discovered from the bound method's owner:
+        when the orchestrator injected ``executor.map_blocks`` and that
+        executor runs ``worker_backend="process"``, the blocked compress
+        path can open its process pool instead.
+        """
+        owner = getattr(self.block_executor, "__self__", None)
+        if owner is None or getattr(owner, "worker_backend", "thread") != "process":
+            return None
+        if not callable(getattr(owner, "open_block_pool", None)):
+            return None
+        return owner
+
+    def _build_worker_payload(
+        self, arr: np.ndarray, error_bound_abs: float
+    ) -> Tuple[Dict[str, Any], Optional[Any]]:
+        """``(payload, shm)`` shipping ``arr`` + codec setup to workers.
+
+        The array rides in POSIX shared memory when the host offers it —
+        one copy serves every worker — and as pickled bytes otherwise.
+        The returned ``shm`` handle (or ``None``) belongs to the caller,
+        which must close *and unlink* it once the pool has drained.
+        """
+        data = np.ascontiguousarray(arr)
+        payload: Dict[str, Any] = {
+            "predictor": self.predictor,
+            "config": self.config,
+            "name": self.name,
+            "block_shape": self.block_shape,
+            "adaptive_predictor": self.adaptive_predictor,
+            "shared_codebook": self.shared_codebook,
+            "shape": tuple(data.shape),
+            "dtype": str(data.dtype),
+            "error_bound_abs": float(error_bound_abs),
+        }
+        shm = None
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=max(1, data.nbytes))
+            np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)[...] = data
+            payload["shm_name"] = shm.name
+        except Exception:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except Exception:
+                    pass
+                shm = None
+            payload["raw"] = data.tobytes()
+        return payload, shm
+
+    def _encode_blocks_process(
+        self, arr: np.ndarray, plan: BlockPlan, error_bound_abs: float
+    ) -> Optional[Tuple[Optional[HuffmanCodebook], List[Tuple[Dict[str, Any], bytes]]]]:
+        """Blocked encode on a process pool; ``None`` means "use threads".
+
+        Only engages when the injected block executor is process-backed,
+        there is more than one block, and no learned block policy is
+        configured (a policy failure mutates pipeline state, which a
+        worker process could not report back).  The result is
+        byte-identical to the thread path: phase A returns each block's
+        chosen predictor and quantised encoding, the parent pools exact
+        symbol frequencies in block order into the same shared codebook,
+        and phase B serialises every block against it.  Any pool failure
+        (broken pool, unpicklable custom predictor, …) logs a warning and
+        falls back to threads.
+        """
+        owner = self._process_block_executor()
+        if owner is None or plan.num_blocks < 2 or self.block_policy is not None:
+            return None
+        if self.collect_stage_timings:
+            # Stage attribution needs in-process timers; the thread path
+            # provides them at the cost of the GIL, which is the right
+            # trade for a debugging run.
+            return None
+        payload, shm = self._build_worker_payload(arr, error_bound_abs)
+        try:
+            pool = owner.open_block_pool(payload)
+            if pool is None:
+                return None
+            try:
+                specs = list(plan.blocks)
+                if not self._shared_codebook_active():
+                    return None, pool.map(_encode_block_worker, specs)
+                chosen = pool.map(_choose_block_worker, specs)
+                frequencies: Dict[int, int] = {}
+                for _, encoding in chosen:
+                    for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
+                        frequencies[sym] = frequencies.get(sym, 0) + freq
+                shared_book: Optional[HuffmanCodebook] = None
+                if frequencies:
+                    shared_book = HuffmanCodebook.from_frequencies(
+                        frequencies, max_length=MAX_CODE_LENGTH
+                    )
+                book_bytes = shared_book.serialize() if shared_book else None
+                results = pool.map(
+                    _finish_block_worker,
+                    [
+                        (spec, name, encoding, book_bytes)
+                        for spec, (name, encoding) in zip(specs, chosen)
+                    ],
+                )
+                return shared_book, results
+            finally:
+                pool.close()
+        except Exception as exc:
+            get_logger(__name__).warning(
+                "process-pool block compression failed (%s: %s); "
+                "falling back to the thread path",
+                type(exc).__name__,
+                exc,
+            )
+            return None
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except Exception:
+                    pass
+
     def _compress_blocked(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
         plan = BlockPlan.partition(arr.shape, self.block_shape)
+        encoded = self._encode_blocks_process(arr, plan, error_bound_abs)
+        if encoded is not None:
+            shared_book, results = encoded
+            header = self.blocked_header(
+                arr, plan, error_bound_abs, shared_book=shared_book
+            )
+            return CompressedBlob.assemble(header, list(results))
         shared_book: Optional[HuffmanCodebook] = None
         if self._shared_codebook_active():
             # Phase A: choose a predictor and encode every block (in
@@ -436,7 +724,7 @@ class PredictionPipelineCompressor(Compressor):
                 inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
                 return (
                     self._block_entry(spec, name, used_shared),
-                    self._lossless.compress(inner),
+                    self._compress_lossless(inner),
                 )
 
             results = self._map_blocks(finish, list(zip(plan.blocks, chosen)))
@@ -531,6 +819,7 @@ class PredictionPipelineCompressor(Compressor):
         inner.header["num_codes"] = int(codes.size)
         used_shared = False
         if self.config.entropy_stage == "huffman" and codes.size:
+            start = time.perf_counter() if self.collect_stage_timings else 0.0
             payload = None
             if shared_book is not None:
                 payload = self._huffman.encode_with_book(codes, shared_book)
@@ -544,6 +833,8 @@ class PredictionPipelineCompressor(Compressor):
                 inner.header["huffman_count"] = count
                 inner.add_section("codes_payload", payload)
                 inner.add_section("codes_codebook", codebook)
+            if self.collect_stage_timings:
+                self._stage_events.append(("entropy_s", time.perf_counter() - start))
         else:
             inner.header["huffman_count"] = -1
             inner.add_array("codes_raw", self._pack_codes(codes))

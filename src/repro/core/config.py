@@ -8,6 +8,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..compression.errorbound import ErrorBound, ErrorBoundMode
 from ..errors import ConfigurationError
+from .parallel import VALID_WORKER_BACKENDS
 
 __all__ = ["OcelotConfig", "TransferMode"]
 
@@ -53,8 +54,13 @@ class OcelotConfig:
             edge length (per axis) and the blocks are compressed
             independently (blob format v2); ``None`` keeps the whole-array
             pipeline.
-        block_workers: local threads used to (de)compress the blocks of
+        block_workers: local workers used to (de)compress the blocks of
             one file concurrently.
+        worker_backend: how block workers run — ``thread`` (default)
+            shares the GIL but starts instantly; ``process`` fans blocks
+            out over worker processes (input shipped via shared memory)
+            so the pure-Python parts of the encode path scale past the
+            GIL, falling back to threads when a pool cannot start.
         adaptive_predictor: per-block SZ3-style predictor selection (try
             Lorenzo vs. interpolation per block, keep the smaller).
         shared_codebook: in blocked Huffman mode, build one entropy
@@ -93,6 +99,7 @@ class OcelotConfig:
     sample_fraction: float = 0.01
     block_size: Optional[int] = None
     block_workers: int = 1
+    worker_backend: str = "thread"
     adaptive_predictor: bool = False
     shared_codebook: bool = True
     transfer_mode: str = "bulk"
@@ -123,6 +130,11 @@ class OcelotConfig:
             raise ConfigurationError("block_size must be >= 1 (or None for whole-array)")
         if self.block_workers < 1:
             raise ConfigurationError("block_workers must be >= 1")
+        if self.worker_backend not in VALID_WORKER_BACKENDS:
+            raise ConfigurationError(
+                f"worker_backend must be one of {VALID_WORKER_BACKENDS}, "
+                f"got {self.worker_backend!r}"
+            )
         if self.adaptive_predictor and not self.block_size:
             raise ConfigurationError(
                 "adaptive_predictor requires block_size (per-block selection "

@@ -91,7 +91,9 @@ class OcelotOrchestrator:
         self.faas = faas or build_faas_service(clock=self.testbed.clock)
         self.planner = CompressionPlanner(config, predictor=predictor)
         self.executor = ParallelExecutor(
-            cost_model=cost_model, block_workers=config.block_workers
+            cost_model=cost_model,
+            block_workers=config.block_workers,
+            worker_backend=config.worker_backend,
         )
         self.grouper = FileGrouper()
         self.sentinel = Sentinel(self.testbed.service.default_settings)

@@ -1,0 +1,191 @@
+"""Equivalence tests for the vectorised encode path.
+
+The vectorised LZ77 matcher and the process-pool block workers are pure
+performance work: neither is allowed to change what comes out the other
+end.  These tests pin that contract —
+
+* ``LZ77Codec.encode`` (vectorised) and the retained
+  ``encode_bytewise`` reference may emit different token streams, but
+  both must decode back to the exact input bytes;
+* window-boundary matches must respect ``window_size`` (the regression
+  for the stale-``window_start`` pruning bug);
+* process-pool blocked compression must produce blobs *byte-identical*
+  to thread-pool blocked compression, in every codebook mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compression import create_blocked_compressor
+from repro.compression.encoders.lz77 import LZ77Codec
+from repro.compression.errorbound import ErrorBound
+from repro.core.parallel import ParallelExecutor
+from repro.errors import ConfigurationError
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _byte_streams() -> st.SearchStrategy[bytes]:
+    """Inputs spanning the encoder's regimes.
+
+    Random bytes (no matches), a skewed alphabet (hash-chain collisions),
+    all-equal runs (the overlapping-match/sentinel-tail path), periodic
+    data (dominant offsets), and the empty input.
+    """
+    random_bytes = st.binary(min_size=0, max_size=4096)
+    skewed = st.lists(
+        st.integers(0, 3), min_size=0, max_size=4096
+    ).map(lambda xs: bytes(xs))
+    all_equal = st.tuples(st.integers(0, 255), st.integers(0, 6000)).map(
+        lambda t: bytes([t[0]]) * t[1]
+    )
+    periodic = st.tuples(
+        st.binary(min_size=1, max_size=48), st.integers(1, 200)
+    ).map(lambda t: t[0] * t[1])
+    return st.one_of(random_bytes, skewed, all_equal, periodic)
+
+
+class TestLZ77Equivalence:
+    @_SETTINGS
+    @given(data=_byte_streams())
+    def test_vectorised_and_bytewise_decode_to_same_bytes(self, data: bytes):
+        codec = LZ77Codec()
+        assert codec.decode(codec.encode(data)) == data
+        assert codec.decode(codec.encode_bytewise(data)) == data
+
+    @_SETTINGS
+    @given(
+        data=_byte_streams(),
+        window=st.sampled_from([16, 256, 4096]),
+        min_match=st.sampled_from([3, 8]),
+    )
+    def test_equivalence_holds_across_codec_parameters(
+        self, data: bytes, window: int, min_match: int
+    ):
+        codec = LZ77Codec(window_size=window, min_match=min_match)
+        assert codec.decode(codec.encode(data)) == data
+        assert codec.decode(codec.encode_bytewise(data)) == data
+
+    @pytest.mark.parametrize("encoder", ["encode", "encode_bytewise"])
+    def test_window_boundary_matches_respect_window_size(self, encoder):
+        """Regression: pruning against a stale ``window_start`` let the
+        bytewise encoder keep candidates beyond the window.  Every match
+        offset must stay within ``window_size`` or decode walks off the
+        end of its history."""
+        window = 64
+        codec = LZ77Codec(window_size=window, max_candidates=4)
+        # The 32-byte motif repeats at distance 160 (> window), with
+        # in-window repeats at distance 32: only the near copies are
+        # legal match sources.
+        motif = bytes(range(32))
+        filler = bytes((i * 7 + 3) % 256 for i in range(128))
+        data = (motif + motif + filler) * 6
+        payload = getattr(codec, encoder)(data)
+        assert codec.decode(payload) == data
+
+        import struct
+
+        n = struct.unpack("<I", payload[:4])[0]
+        assert n == len(data)
+        offsets = [
+            struct.unpack_from("<HBB", payload, 4 + i * 4)[0]
+            for i in range((len(payload) - 4) // 4)
+        ]
+        assert all(off <= window for off in offsets)
+
+    def test_match_into_pruned_window_prefix(self):
+        """Matches whose source sits right at the window's trailing edge
+        survive index pruning (the bug dropped them wholesale)."""
+        codec = LZ77Codec(window_size=128, max_candidates=2)
+        probe = b"SIGNATURE!"
+        data = probe + bytes(range(100)) + probe + bytes(range(100, 200)) + probe
+        assert codec.decode(codec.encode(data)) == data
+        assert codec.decode(codec.encode_bytewise(data)) == data
+
+
+def _compress_blob_bytes(backend: str, shared: bool, adaptive: bool = False) -> bytes:
+    rng = np.random.default_rng(7)
+    data = np.cumsum(rng.normal(size=(48, 48)), axis=1).astype(np.float64)
+    executor = ParallelExecutor(block_workers=2, worker_backend=backend)
+    compressor = create_blocked_compressor(
+        "sz3",
+        block_shape=16,
+        block_executor=executor.map_blocks,
+        adaptive_predictor=adaptive,
+        shared_codebook=shared,
+    )
+    result = compressor.compress(data, ErrorBound.relative(1e-3))
+    recon = compressor.decompress(result.blob)
+    assert np.isfinite(recon).all()
+    return result.blob.to_bytes()
+
+
+class TestProcessPoolEquivalence:
+    @pytest.mark.parametrize("shared", [True, False], ids=["shared", "per-block"])
+    def test_process_blobs_byte_identical_to_thread_blobs(self, shared):
+        assert _compress_blob_bytes("process", shared) == _compress_blob_bytes(
+            "thread", shared
+        )
+
+    def test_adaptive_mode_byte_identical(self):
+        assert _compress_blob_bytes(
+            "process", shared=True, adaptive=True
+        ) == _compress_blob_bytes("thread", shared=True, adaptive=True)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(worker_backend="greenlet")
+
+    def test_thread_backend_opens_no_pool(self):
+        executor = ParallelExecutor(block_workers=4, worker_backend="thread")
+        assert executor.open_block_pool({"x": 1}) is None
+
+    def test_single_worker_opens_no_pool(self):
+        executor = ParallelExecutor(block_workers=1, worker_backend="process")
+        assert executor.open_block_pool({"x": 1}) is None
+
+    def test_process_pool_maps_in_item_order(self):
+        executor = ParallelExecutor(block_workers=2, worker_backend="process")
+        pool = executor.open_block_pool({"base": 100})
+        if pool is None:
+            pytest.skip("host cannot start worker processes")
+        with pool:
+            out = pool.map(_offset_item, list(range(16)))
+        assert out == [100 + i for i in range(16)]
+
+    def test_pipeline_falls_back_when_pool_cannot_start(self, monkeypatch):
+        """A process-backed executor whose pool cannot start must fall
+        back to the thread path and still produce the canonical blob."""
+        expected = _compress_blob_bytes("thread", shared=True)
+        monkeypatch.setattr(
+            ParallelExecutor, "open_block_pool", lambda self, payload: None
+        )
+        assert _compress_blob_bytes("process", shared=True) == expected
+
+    def test_stage_timings_collection_still_byte_identical(self):
+        rng = np.random.default_rng(7)
+        data = np.cumsum(rng.normal(size=(48, 48)), axis=1).astype(np.float64)
+        compressor = create_blocked_compressor("sz3", block_shape=16)
+        baseline = compressor.compress(data, ErrorBound.relative(1e-3)).blob
+        compressor.collect_stage_timings = True
+        timed = compressor.compress(data, ErrorBound.relative(1e-3)).blob
+        timings = compressor.last_stage_timings
+        assert timings is not None
+        assert set(timings) == {"predict_quantize_s", "entropy_s", "lossless_s"}
+        assert timings["predict_quantize_s"] > 0
+        # The timings ride in mutable metadata; the compressed sections
+        # themselves must be unaffected by collection.
+        assert timed.metadata.pop("stage_timings") == timings
+        assert timed.to_bytes() == baseline.to_bytes()
+
+
+def _offset_item(payload, item):
+    return payload["base"] + item
