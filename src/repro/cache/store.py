@@ -1,0 +1,295 @@
+"""The on-disk content-addressed blob/block cache.
+
+Two tiers share one directory tree::
+
+    <cache_dir>/blob/<aa>/<key>.entry    whole compressed files
+    <cache_dir>/block/<aa>/<key>.entry   self-contained encoded blocks
+
+Each ``.entry`` file is a small self-describing record — magic, a JSON
+meta header (provenance: dataset, compressor, error bound) and the raw
+payload bytes.  Writes are atomic (temp file + ``os.replace`` in the
+same directory), so a concurrent reader sees either the old entry, the
+new entry, or a miss — never torn bytes; a record that fails validation
+on read is treated as a miss and deleted.  Eviction is size-capped LRU
+over file mtimes: every hit touches its entry, and a put that pushes
+the tree over ``max_bytes`` deletes the stalest entries first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["BlobCache", "CacheStats", "CACHE_MODES"]
+
+_MAGIC = b"OCCH"
+_TIERS = ("blob", "block")
+
+#: ``off`` disables the cache entirely, ``read`` consults but never
+#: writes (a shared warm cache tenants must not grow), ``readwrite`` is
+#: the normal populate-and-consume mode.
+CACHE_MODES = ("off", "read", "readwrite")
+
+
+@dataclass
+class CacheStats:
+    """Session counters of one :class:`BlobCache` instance."""
+
+    blob_hits: int = 0
+    blob_misses: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def blob_hit_rate(self) -> Optional[float]:
+        total = self.blob_hits + self.blob_misses
+        return self.blob_hits / total if total else None
+
+    @property
+    def block_hit_rate(self) -> Optional[float]:
+        total = self.block_hits + self.block_misses
+        return self.block_hits / total if total else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = asdict(self)
+        data["blob_hit_rate"] = self.blob_hit_rate
+        data["block_hit_rate"] = self.block_hit_rate
+        return data
+
+
+@dataclass
+class _Entry:
+    path: str
+    size: int
+    mtime: float = field(default=0.0)
+
+
+class BlobCache:
+    """Content-addressed two-tier cache with size-capped LRU eviction."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        max_bytes: Optional[int] = None,
+        mode: str = "readwrite",
+    ) -> None:
+        if mode not in ("read", "readwrite"):
+            raise ValueError(
+                f"cache mode must be 'read' or 'readwrite' for an open store, got {mode!r}"
+            )
+        self.cache_dir = str(cache_dir)
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        self.mode = mode
+        self.stats = CacheStats()
+        self._put_counter = 0
+        self._known_dirs: set = set()
+        if self.writable:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    @property
+    def writable(self) -> bool:
+        """Whether :meth:`put` stores entries (``readwrite`` mode)."""
+        return self.mode == "readwrite"
+
+    # ------------------------------------------------------------------ #
+    # Paths and record framing
+    # ------------------------------------------------------------------ #
+    def _entry_path(self, tier: str, key: str) -> str:
+        if tier not in _TIERS:
+            raise ValueError(f"unknown cache tier {tier!r}")
+        return os.path.join(self.cache_dir, tier, key[:2], f"{key}.entry")
+
+    @staticmethod
+    def _encode_record(meta: Dict[str, Any], payload: bytes) -> bytes:
+        meta_bytes = json.dumps(meta or {}, sort_keys=True).encode("utf-8")
+        return b"".join(
+            (_MAGIC, struct.pack("<II", len(meta_bytes), len(payload)), meta_bytes, payload)
+        )
+
+    @staticmethod
+    def _decode_record(data: bytes) -> Tuple[Dict[str, Any], bytes]:
+        if len(data) < 12 or data[:4] != _MAGIC:
+            raise ValueError("bad cache entry magic")
+        meta_len, payload_len = struct.unpack("<II", data[4:12])
+        if 12 + meta_len + payload_len != len(data):
+            raise ValueError("truncated cache entry")
+        meta = json.loads(data[12 : 12 + meta_len].decode("utf-8"))
+        return meta, data[12 + meta_len :]
+
+    # ------------------------------------------------------------------ #
+    # Get / put
+    # ------------------------------------------------------------------ #
+    def get(self, tier: str, key: str) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """Look up one entry; returns ``(meta, payload)`` or ``None``.
+
+        A hit refreshes the entry's mtime (the LRU clock).  Entries that
+        fail to parse — a crashed writer, manual truncation — count as
+        misses and are deleted so they cannot poison later lookups.
+        """
+        path = self._entry_path(tier, key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            meta, payload = self._decode_record(raw)
+        except FileNotFoundError:
+            self._count(tier, hit=False)
+            return None
+        except (ValueError, OSError, json.JSONDecodeError):
+            self._discard(path)
+            self._count(tier, hit=False)
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry may have been evicted between read and touch
+        self._count(tier, hit=True)
+        self.stats.bytes_read += len(payload)
+        return meta, payload
+
+    def put(self, tier: str, key: str, payload: bytes, meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Store one entry atomically; returns whether it was written.
+
+        ``read`` mode and rewrites of an existing key are no-ops.  The
+        record lands under a unique temp name first and is renamed into
+        place, so concurrent readers never observe a partial entry; a
+        successful put then evicts stale entries if the tree exceeds
+        ``max_bytes``.
+        """
+        if not self.writable:
+            return False
+        path = self._entry_path(tier, key)
+        if os.path.exists(path):
+            return False
+        shard_dir = os.path.dirname(path)
+        if shard_dir not in self._known_dirs:
+            os.makedirs(shard_dir, exist_ok=True)
+            self._known_dirs.add(shard_dir)
+        record = self._encode_record(meta or {}, payload)
+        self._put_counter += 1
+        tmp_path = f"{path}.tmp-{os.getpid()}-{self._put_counter}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(record)
+            os.replace(tmp_path, path)
+        except OSError:
+            self._discard(tmp_path)
+            return False
+        self.stats.puts += 1
+        self.stats.bytes_written += len(record)
+        if self.max_bytes is not None:
+            self._evict_over_cap(protect=path)
+        return True
+
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """Whole-blob tier lookup; returns the serialised blob bytes."""
+        found = self.get("blob", key)
+        return found[1] if found else None
+
+    def put_blob(self, key: str, payload: bytes, meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Store one whole compressed blob."""
+        return self.put("blob", key, payload, meta)
+
+    def get_block(self, key: str) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """Block tier lookup; returns ``(entry_meta, payload)``."""
+        return self.get("block", key)
+
+    def put_block(self, key: str, payload: bytes, meta: Optional[Dict[str, Any]] = None) -> bool:
+        """Store one self-contained encoded block payload."""
+        return self.put("block", key, payload, meta)
+
+    def _count(self, tier: str, hit: bool) -> None:
+        if tier == "blob":
+            if hit:
+                self.stats.blob_hits += 1
+            else:
+                self.stats.blob_misses += 1
+        elif hit:
+            self.stats.block_hits += 1
+        else:
+            self.stats.block_misses += 1
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Eviction and maintenance
+    # ------------------------------------------------------------------ #
+    def _scan(self, tier: Optional[str] = None) -> List[_Entry]:
+        entries: List[_Entry] = []
+        tiers = (tier,) if tier else _TIERS
+        for tier_name in tiers:
+            root = os.path.join(self.cache_dir, tier_name)
+            if not os.path.isdir(root):
+                continue
+            for dirpath, _, filenames in os.walk(root):
+                for filename in filenames:
+                    if not filename.endswith(".entry"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:
+                        continue  # concurrently evicted
+                    entries.append(_Entry(path=path, size=stat.st_size, mtime=stat.st_mtime))
+        return entries
+
+    def _evict_over_cap(self, protect: Optional[str] = None) -> None:
+        assert self.max_bytes is not None
+        entries = self._scan()
+        total = sum(entry.size for entry in entries)
+        if total <= self.max_bytes:
+            return
+        # Oldest mtime first; the entry just written is exempt so a put
+        # larger than its peers cannot evict itself into a livelock.
+        entries.sort(key=lambda entry: (entry.mtime, entry.path))
+        for entry in entries:
+            if total <= self.max_bytes:
+                break
+            if protect is not None and entry.path == protect:
+                continue
+            self._discard(entry.path)
+            self.stats.evictions += 1
+            total -= entry.size
+
+    def disk_usage(self, tier: Optional[str] = None) -> int:
+        """Total bytes currently stored (optionally one tier)."""
+        return sum(entry.size for entry in self._scan(tier))
+
+    def entry_count(self, tier: Optional[str] = None) -> int:
+        """Number of entries currently stored (optionally one tier)."""
+        return len(self._scan(tier))
+
+    def clear(self, tier: Optional[str] = None) -> int:
+        """Delete every entry (optionally of one tier); returns the count."""
+        removed = 0
+        for entry in self._scan(tier):
+            self._discard(entry.path)
+            removed += 1
+        return removed
+
+    def describe(self) -> Dict[str, Any]:
+        """Disk-level summary plus session counters (``ocelot cache stats``)."""
+        per_tier = {
+            tier: {"entries": self.entry_count(tier), "bytes": self.disk_usage(tier)}
+            for tier in _TIERS
+        }
+        return {
+            "cache_dir": self.cache_dir,
+            "mode": self.mode,
+            "max_bytes": self.max_bytes,
+            "tiers": per_tier,
+            "total_bytes": sum(info["bytes"] for info in per_tier.values()),
+            "total_entries": sum(info["entries"] for info in per_tier.values()),
+            "session": self.stats.as_dict(),
+        }

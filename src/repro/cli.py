@@ -20,6 +20,8 @@ Subcommands mirror the user-facing capabilities of the paper:
 * ``ocelot jobs`` — list jobs recorded in the state file.
 * ``ocelot status <job>`` — show one job's record, including its
   structured event feed.
+* ``ocelot cache stats|clear`` — inspect or empty the content-addressed
+  blob/block cache that ``--cache-dir`` transfers populate.
 """
 
 from __future__ import annotations
@@ -69,6 +71,34 @@ def _add_block_arguments(sub: argparse.ArgumentParser) -> None:
                      help="entropy codebook layout in blocked Huffman mode: "
                           "one shared codebook per file stored once in the "
                           "blob header (default), or one per block")
+
+
+def _add_cache_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--cache-dir", default=None, metavar="PATH",
+                     help="content-addressed blob/block cache directory; "
+                          "repeat transfers of identical data short-circuit "
+                          "the compress phase (inspect with 'ocelot cache')")
+    sub.add_argument("--cache-mode", default=None,
+                     choices=["off", "read", "readwrite"],
+                     help="off: ignore the cache; read: serve hits but never "
+                          "write (a shared warm cache tenants must not grow); "
+                          "readwrite: serve hits and store new entries "
+                          "(default when --cache-dir is given)")
+    sub.add_argument("--cache-max-bytes", type=_positive_int, default=None,
+                     help="size cap of the cache directory; "
+                          "least-recently-used entries beyond it are evicted")
+
+
+def _cache_config_kwargs(args: argparse.Namespace) -> dict:
+    """OcelotConfig cache fields from parsed cache CLI flags."""
+    mode = args.cache_mode
+    if mode is None:
+        mode = "readwrite" if args.cache_dir else "off"
+    return {
+        "cache_dir": args.cache_dir,
+        "cache_mode": mode,
+        "cache_max_bytes": args.cache_max_bytes,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "finishes encoding (compressed mode only)")
     transfer.add_argument("--stream-window", type=_positive_int, default=8,
                           help="bounded in-flight window of the streamed pipeline")
+    _add_cache_arguments(transfer)
     transfer.add_argument("--json", action="store_true")
 
     inspect = sub.add_parser("inspect", help="print a compressed blob's header and block index")
@@ -165,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="nodes each job requests for compression (small "
                              "requests let concurrent jobs overlap on the partition)")
     submit.add_argument("--decompression-nodes", type=_positive_int, default=4)
+    _add_cache_arguments(submit)
     submit.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH",
                         help="job-state file shared by submit/jobs/status")
     submit.add_argument("--events", action="store_true",
@@ -179,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("job", help="job id, e.g. job-0001")
     status.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH")
     status.add_argument("--json", action="store_true")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed blob/block cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", required=True, metavar="PATH",
+                       help="cache directory (the --cache-dir of past transfers)")
+    cache.add_argument("--tier", default=None, choices=["blob", "block"],
+                       help="restrict the action to one tier (default: both)")
+    cache.add_argument("--json", action="store_true")
     return parser
 
 
@@ -334,6 +376,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         transfer_mode=args.transfer_mode,
         stream_window=args.stream_window,
         block_policy_path=args.block_policy,
+        **_cache_config_kwargs(args),
     )
     ocelot = Ocelot(config)
     comparison = ocelot.compare_modes(
@@ -426,6 +469,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "codebook": entry.get("codebook", ""),
                 "section": entry["section"],
                 "section_bytes": blob.container.section_size(entry["section"]),
+                "alias_of": entry.get("alias_of"),
             }
         )
     payload = {
@@ -437,10 +481,14 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         "error_bound_abs": blob.error_bound_abs,
         "serialized_bytes": len(data),
         "num_blocks": blob.num_blocks,
+        "aliased_blocks": blob.aliased_block_count,
         "is_blocked": blob.is_blocked,
         "codebook": _codebook_summary(blob),
         "blocks": entries,
     }
+    for key in ("content_digest", "cache_key"):
+        if blob.metadata.get(key):
+            payload[key] = blob.metadata[key]
     stage_timings = blob.metadata.get("stage_timings")
     if stage_timings:
         payload["stage_timings"] = stage_timings
@@ -453,12 +501,18 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
           f"  shape: {tuple(payload['shape'])}")
     print(f"  error bound (abs): {payload['error_bound_abs']:.3g}"
           f"  serialized: {format_bytes(payload['serialized_bytes'])}")
+    if "content_digest" in payload:
+        print(f"  content digest: {payload['content_digest']}")
+    if "cache_key" in payload:
+        print(f"  cache key: {payload['cache_key']}")
     if stage_timings:
         print("  encode stages: " + _format_stage_timings(stage_timings))
     if not blob.is_blocked:
         print("  layout: whole-array (single payload section)")
         return 0
-    print(f"  layout: blocked ({payload['num_blocks']} independent blocks)")
+    aliased = payload["aliased_blocks"]
+    dedup = f", {aliased} deduped as aliases" if aliased else ""
+    print(f"  layout: blocked ({payload['num_blocks']} independent blocks{dedup})")
     codebook = payload["codebook"]
     if codebook["mode"] == "shared":
         print(f"  codebook: shared (stored once in header, "
@@ -471,10 +525,15 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"  {'id':>4s} {'origin':>16s} {'shape':>14s} {'predictor':>14s}"
           f" {'codebook':>9s} {'bytes':>10s}")
     for entry in entries:
+        size = (
+            f"={entry['alias_of']:>9d}"
+            if entry["alias_of"] is not None
+            else f"{entry['section_bytes']:>10d}"
+        )
         print(
             f"  {entry['id']:>4d} {str(tuple(entry['origin'])):>16s}"
             f" {str(tuple(entry['shape'])):>14s} {entry['predictor']:>14s}"
-            f" {entry['codebook']:>9s} {entry['section_bytes']:>10d}"
+            f" {entry['codebook']:>9s} {size}"
         )
     return 0
 
@@ -551,6 +610,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         compression_nodes=args.compression_nodes,
         decompression_nodes=args.decompression_nodes,
         sentinel_enabled=False,
+        **_cache_config_kwargs(args),
     )
     state = _load_job_state(args.state)
     service = OcelotService(config, first_job_number=len(state["jobs"]) + 1)
@@ -649,6 +709,34 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import BlobCache
+
+    cache = BlobCache(args.cache_dir, mode="readwrite")
+    if args.action == "clear":
+        removed = cache.clear(args.tier)
+        if args.json:
+            json.dump({"cache_dir": args.cache_dir, "removed": removed}, sys.stdout, indent=2)
+            print()
+        else:
+            scope = f"{args.tier} tier" if args.tier else "both tiers"
+            print(f"removed {removed} entries ({scope}) from {args.cache_dir}")
+        return 0
+    summary = cache.describe()
+    if args.tier:
+        summary["tiers"] = {args.tier: summary["tiers"][args.tier]}
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"{args.cache_dir}: {summary['total_entries']} entries, "
+          f"{format_bytes(summary['total_bytes'])}"
+          + (f" (cap {format_bytes(summary['max_bytes'])})" if summary["max_bytes"] else ""))
+    for tier, info in summary["tiers"].items():
+        print(f"  {tier:>6s}: {info['entries']:>6d} entries  {format_bytes(info['bytes'])}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "predict": _cmd_predict,
@@ -659,6 +747,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "status": _cmd_status,
+    "cache": _cmd_cache,
 }
 
 
@@ -671,6 +760,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "block_policy", None) and not getattr(args, "adaptive_predictor", False):
         if args.command in ("compress", "transfer"):
             parser.error("--block-policy requires --adaptive-predictor")
+    if args.command in ("transfer", "submit"):
+        if args.cache_mode not in (None, "off") and not args.cache_dir:
+            parser.error("--cache-mode requires --cache-dir")
     handler = _COMMANDS[args.command]
     return handler(args)
 

@@ -324,6 +324,15 @@ class CompressedBlob:
         index = self.container.header.get("block_index")
         return len(index) if index else 1
 
+    @property
+    def aliased_block_count(self) -> int:
+        """Blocks stored as aliases of an identical earlier block (dedup)."""
+        return sum(
+            1
+            for entry in self.container.header.get("block_index", [])
+            if entry.get("alias_of") is not None
+        )
+
     def block_entry(self, block_id: int) -> Dict[str, Any]:
         """The index entry of one block of a v2 blob."""
         for entry in self.container.header.get("block_index", []):
@@ -468,9 +477,24 @@ class CompressedBlob:
             }
         )
         block_index: List[Dict[str, Any]] = []
+        stored = set()
+        aliased: List[Dict[str, Any]] = []
         for entry, payload in ordered:
-            container.add_section(entry["section"], payload)
+            if entry.get("alias_of") is not None:
+                # Within-blob dedup: an alias entry reuses its
+                # representative's stored section and carries no payload
+                # of its own.
+                aliased.append(entry)
+            else:
+                container.add_section(entry["section"], payload)
+                stored.add(entry["section"])
             block_index.append(dict(entry))
+        for entry in aliased:
+            if entry.get("section") not in stored:
+                raise EncodingError(
+                    f"block {entry['id']} aliases block {entry['alias_of']}, "
+                    f"but section {entry.get('section')!r} is not stored in the blob"
+                )
         container.header["block_index"] = block_index
         return cls(
             compressor=compressor,

@@ -58,6 +58,8 @@ def create_blocked_compressor(
     block_executor: Optional[BlockMapper] = None,
     block_policy=None,
     shared_codebook: Optional[bool] = None,
+    block_cache=None,
+    block_cache_tag: str = "",
     **kwargs,
 ) -> Compressor:
     """Instantiate a compressor and wire up blocked-mode execution.
@@ -69,13 +71,21 @@ def create_blocked_compressor(
     :class:`~repro.prediction.block_policy.BlockPolicy`) replaces
     brute-force adaptive predictor selection with the learned one, and
     ``shared_codebook`` toggles the per-file entropy codebook (``None``
-    keeps the pipeline's default of sharing).  This is the single place
-    the orchestrator and CLI share for blocked-mode wiring.
+    keeps the pipeline's default of sharing).  ``block_cache`` (a
+    :class:`~repro.cache.BlobCache`) lets blocked compression reuse
+    identical self-contained block payloads across files, jobs and
+    tenants, with ``block_cache_tag`` folded into the cache keys (it
+    carries config the pipeline cannot see, e.g. the block-policy path).
+    This is the single place the orchestrator and CLI share for
+    blocked-mode wiring.
     """
     compressor = create_compressor(name, **kwargs)
     if isinstance(compressor, PredictionPipelineCompressor):
         compressor.configure_blocks(
-            block_executor=block_executor, shared_codebook=shared_codebook
+            block_executor=block_executor,
+            shared_codebook=shared_codebook,
+            block_cache=block_cache,
+            block_cache_tag=block_cache_tag,
         )
         if block_shape:
             compressor.configure_blocks(

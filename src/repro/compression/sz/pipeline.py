@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...cache.keys import array_content_digest, block_cache_key, pipeline_fingerprint
 from ...errors import CompressionError, ConfigurationError
 from ...utils.logging import get_logger
 from ..blocking import BlockPlan, BlockShapeLike, BlockSpec
@@ -168,6 +169,8 @@ class PredictionPipelineCompressor(Compressor):
         block_executor: Optional[BlockMapper] = None,
         block_policy: Optional[Any] = None,
         shared_codebook: bool = True,
+        block_cache: Optional[Any] = None,
+        block_cache_tag: str = "",
     ) -> None:
         self.predictor = predictor
         self.config = config or PipelineConfig()
@@ -176,6 +179,15 @@ class PredictionPipelineCompressor(Compressor):
         self.block_shape = block_shape
         self.adaptive_predictor = bool(adaptive_predictor)
         self.block_executor = block_executor
+        #: Optional :class:`~repro.cache.BlobCache` whose block tier
+        #: dedups identical blocks across files/jobs/tenants.  Only
+        #: *self-contained* payloads (per-block codebooks or no entropy
+        #: stage) are cached — a block encoded against one file's shared
+        #: codebook is not decodable inside another blob.
+        self.block_cache = block_cache
+        #: Extra config folded into block cache keys (e.g. the learned
+        #: block-policy path, which the pipeline cannot observe itself).
+        self.block_cache_tag = str(block_cache_tag or "")
         #: Optional learned per-block predictor-selection policy (a
         #: :class:`repro.prediction.block_policy.BlockPolicy`); when set,
         #: adaptive mode consults it instead of brute-forcing every
@@ -197,6 +209,9 @@ class PredictionPipelineCompressor(Compressor):
         #: Stage totals of the most recent :meth:`compress_array` call
         #: (``None`` until one runs with collection enabled).
         self.last_stage_timings: Optional[Dict[str, float]] = None
+        #: Block-dedup outcome of the most recent blocked compress:
+        #: ``{"total_blocks", "distinct_blocks", "aliased_blocks"}``.
+        self.last_dedup_stats: Optional[Dict[str, int]] = None
         self._stage_events: List[Tuple[str, float]] = []
         self._huffman = HuffmanCodec()
         self._lossless: LosslessBackend = get_lossless_backend(
@@ -210,6 +225,8 @@ class PredictionPipelineCompressor(Compressor):
         block_executor: Optional[BlockMapper] = None,
         block_policy: Optional[Any] = None,
         shared_codebook: Optional[bool] = None,
+        block_cache: Optional[Any] = None,
+        block_cache_tag: Optional[str] = None,
     ) -> "PredictionPipelineCompressor":
         """Switch this pipeline into (or re-tune) blocked mode.
 
@@ -225,6 +242,10 @@ class PredictionPipelineCompressor(Compressor):
             self.block_policy = block_policy
         if shared_codebook is not None:
             self.shared_codebook = bool(shared_codebook)
+        if block_cache is not None:
+            self.block_cache = block_cache
+        if block_cache_tag is not None:
+            self.block_cache_tag = str(block_cache_tag)
         return self
 
     # ------------------------------------------------------------------ #
@@ -564,6 +585,154 @@ class PredictionPipelineCompressor(Compressor):
             return None
         return HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
 
+    # ------------------------------------------------------------------ #
+    # Block dedup: within-blob aliasing + the cross-job block store
+    # ------------------------------------------------------------------ #
+    def _group_identical_blocks(
+        self, arr: np.ndarray, plan: BlockPlan
+    ) -> Tuple[List[BlockSpec], Dict[int, int], Dict[int, str], Dict[int, int]]:
+        """Group the plan's blocks by raw content.
+
+        Returns ``(reps, alias_of, digests, counts)``: the first
+        occurrence of each distinct block (in plan order), a map from
+        duplicate block ids to their representative's id, each
+        representative's content digest (the block-store key ingredient)
+        and its multiplicity.  Only representatives are encoded; the
+        multiplicity weights shared-codebook frequency pooling so the
+        book stays byte-identical to a no-dedup encoding of the array.
+        """
+        reps: List[BlockSpec] = []
+        alias_of: Dict[int, int] = {}
+        digests: Dict[int, str] = {}
+        counts: Dict[int, int] = {}
+        first_seen: Dict[str, int] = {}
+        for spec in plan.blocks:
+            digest = array_content_digest(plan.extract(arr, spec))
+            rep_id = first_seen.get(digest)
+            if rep_id is None:
+                first_seen[digest] = spec.block_id
+                reps.append(spec)
+                digests[spec.block_id] = digest
+                counts[spec.block_id] = 1
+            else:
+                alias_of[spec.block_id] = rep_id
+                counts[rep_id] += 1
+        return reps, alias_of, digests, counts
+
+    def _expand_aliases(
+        self,
+        plan: BlockPlan,
+        reps: List[BlockSpec],
+        rep_results: List[Tuple[Dict[str, Any], bytes]],
+        alias_of: Dict[int, int],
+    ) -> List[Tuple[Dict[str, Any], bytes]]:
+        """Materialise the full block index from representative results.
+
+        Duplicate blocks become *alias entries*: their own geometry, no
+        payload, and ``alias_of`` naming the representative whose stored
+        section the decoder reads instead.
+        """
+        if not alias_of:
+            return list(rep_results)
+        by_id = {spec.block_id: result for spec, result in zip(reps, rep_results)}
+        results: List[Tuple[Dict[str, Any], bytes]] = []
+        for spec in plan.blocks:
+            rep_id = alias_of.get(spec.block_id)
+            if rep_id is None:
+                results.append(by_id[spec.block_id])
+                continue
+            rep_entry = by_id[rep_id][0]
+            entry = spec.as_dict()
+            entry["predictor"] = rep_entry["predictor"]
+            entry["section"] = rep_entry["section"]
+            entry["alias_of"] = int(rep_id)
+            if "codebook" in rep_entry:
+                entry["codebook"] = rep_entry["codebook"]
+            results.append((entry, b""))
+        return results
+
+    def _block_cache_active(self) -> bool:
+        """Whether the cross-job block store applies to this pipeline.
+
+        Only *self-contained* payloads are cached: a block entropy-coded
+        against one file's shared codebook is not decodable inside
+        another blob, so the store engages when the entropy stage is off
+        or per-block codebooks are in use.
+        """
+        return self.block_cache is not None and not self._shared_codebook_active()
+
+    def _block_cache_key(self, digest: str, error_bound_abs: float) -> str:
+        fingerprint = pipeline_fingerprint(
+            compressor=self.name,
+            error_bound_abs=error_bound_abs,
+            codebook_mode="per-block",
+            adaptive_predictor=self.adaptive_predictor,
+            block_policy=self.block_cache_tag,
+            extra={
+                "entropy": self.config.entropy_stage,
+                "lossless": self._lossless.name,
+            },
+        )
+        return block_cache_key(digest, fingerprint)
+
+    def _cached_block_result(
+        self, spec: BlockSpec, digests: Dict[int, str], error_bound_abs: float
+    ) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """Look one representative up in the block store; ``None`` misses."""
+        if not self._block_cache_active():
+            return None
+        found = self.block_cache.get_block(
+            self._block_cache_key(digests[spec.block_id], error_bound_abs)
+        )
+        if found is None:
+            return None
+        meta, payload = found
+        # Rebuild the index entry in the exact key order a fresh encode
+        # produces, so cached and freshly compressed blobs stay
+        # byte-identical.
+        entry = spec.as_dict()
+        entry["predictor"] = meta.get("predictor", self.predictor.name)
+        entry["section"] = f"block:{spec.block_id}"
+        if meta.get("codebook"):
+            entry["codebook"] = meta["codebook"]
+        return entry, payload
+
+    def _store_block_result(
+        self,
+        spec: BlockSpec,
+        digests: Dict[int, str],
+        error_bound_abs: float,
+        result: Tuple[Dict[str, Any], bytes],
+    ) -> None:
+        """Offer one freshly encoded representative to the block store."""
+        if not self._block_cache_active() or not self.block_cache.writable:
+            return
+        entry, payload = result
+        meta: Dict[str, Any] = {"predictor": entry.get("predictor")}
+        if entry.get("codebook"):
+            meta["codebook"] = entry["codebook"]
+        self.block_cache.put_block(
+            self._block_cache_key(digests[spec.block_id], error_bound_abs),
+            payload,
+            meta,
+        )
+
+    def _encode_or_reuse_block(
+        self,
+        arr: np.ndarray,
+        plan: BlockPlan,
+        spec: BlockSpec,
+        error_bound_abs: float,
+        digests: Dict[int, str],
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """``encode_one_block`` fronted by the cross-job block store."""
+        cached = self._cached_block_result(spec, digests, error_bound_abs)
+        if cached is not None:
+            return cached
+        result = self.encode_one_block(arr, plan, spec, error_bound_abs)
+        self._store_block_result(spec, digests, error_bound_abs, result)
+        return result
+
     def _process_block_executor(self):
         """The process-backed executor behind ``block_executor``, if any.
 
@@ -621,20 +790,29 @@ class PredictionPipelineCompressor(Compressor):
         return payload, shm
 
     def _encode_blocks_process(
-        self, arr: np.ndarray, plan: BlockPlan, error_bound_abs: float
+        self,
+        arr: np.ndarray,
+        plan: BlockPlan,
+        error_bound_abs: float,
+        reps: List[BlockSpec],
+        digests: Dict[int, str],
+        counts: Dict[int, int],
     ) -> Optional[Tuple[Optional[HuffmanCodebook], List[Tuple[Dict[str, Any], bytes]]]]:
-        """Blocked encode on a process pool; ``None`` means "use threads".
+        """Representative-block encode on a process pool; ``None`` = threads.
 
         Only engages when the injected block executor is process-backed,
         there is more than one block, and no learned block policy is
         configured (a policy failure mutates pipeline state, which a
         worker process could not report back).  The result is
-        byte-identical to the thread path: phase A returns each block's
-        chosen predictor and quantised encoding, the parent pools exact
-        symbol frequencies in block order into the same shared codebook,
-        and phase B serialises every block against it.  Any pool failure
-        (broken pool, unpicklable custom predictor, …) logs a warning and
-        falls back to threads.
+        byte-identical to the thread path: phase A returns each
+        representative's chosen predictor and quantised encoding, the
+        parent pools exact symbol frequencies in block order — weighted
+        by each representative's multiplicity — into the same shared
+        codebook, and phase B serialises every representative against
+        it.  Block-store lookups happen parent-side (workers hold no
+        cache handle), so only missed representatives are dispatched.
+        Any pool failure (broken pool, unpicklable custom predictor, …)
+        logs a warning and falls back to threads.
         """
         owner = self._process_block_executor()
         if owner is None or plan.num_blocks < 2 or self.block_policy is not None:
@@ -650,14 +828,34 @@ class PredictionPipelineCompressor(Compressor):
             if pool is None:
                 return None
             try:
-                specs = list(plan.blocks)
+                specs = list(reps)
                 if not self._shared_codebook_active():
-                    return None, pool.map(_encode_block_worker, specs)
+                    results: List[Optional[Tuple[Dict[str, Any], bytes]]] = (
+                        [None] * len(specs)
+                    )
+                    pending: List[int] = []
+                    for i, spec in enumerate(specs):
+                        cached = self._cached_block_result(spec, digests, error_bound_abs)
+                        if cached is not None:
+                            results[i] = cached
+                        else:
+                            pending.append(i)
+                    if pending:
+                        fresh = pool.map(
+                            _encode_block_worker, [specs[i] for i in pending]
+                        )
+                        for i, result in zip(pending, fresh):
+                            self._store_block_result(
+                                specs[i], digests, error_bound_abs, result
+                            )
+                            results[i] = result
+                    return None, results
                 chosen = pool.map(_choose_block_worker, specs)
                 frequencies: Dict[int, int] = {}
-                for _, encoding in chosen:
+                for spec, (_, encoding) in zip(specs, chosen):
+                    weight = counts[spec.block_id]
                     for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
-                        frequencies[sym] = frequencies.get(sym, 0) + freq
+                        frequencies[sym] = frequencies.get(sym, 0) + freq * weight
                 shared_book: Optional[HuffmanCodebook] = None
                 if frequencies:
                     shared_book = HuffmanCodebook.from_frequencies(
@@ -692,49 +890,64 @@ class PredictionPipelineCompressor(Compressor):
 
     def _compress_blocked(self, arr: np.ndarray, error_bound_abs: float) -> CompressedBlob:
         plan = BlockPlan.partition(arr.shape, self.block_shape)
-        encoded = self._encode_blocks_process(arr, plan, error_bound_abs)
+        reps, alias_of, digests, counts = self._group_identical_blocks(arr, plan)
+        self.last_dedup_stats = {
+            "total_blocks": plan.num_blocks,
+            "distinct_blocks": len(reps),
+            "aliased_blocks": len(alias_of),
+        }
+        encoded = self._encode_blocks_process(
+            arr, plan, error_bound_abs, reps, digests, counts
+        )
         if encoded is not None:
-            shared_book, results = encoded
-            header = self.blocked_header(
-                arr, plan, error_bound_abs, shared_book=shared_book
-            )
-            return CompressedBlob.assemble(header, list(results))
-        shared_book: Optional[HuffmanCodebook] = None
-        if self._shared_codebook_active():
-            # Phase A: choose a predictor and encode every block (in
-            # parallel), pooling exact symbol frequencies across blocks.
-            chosen = self._map_blocks(
-                lambda spec: self._choose_block_encoding(
-                    plan.extract(arr, spec), error_bound_abs
-                ),
-                plan.blocks,
-            )
-            frequencies: Dict[int, int] = {}
-            for _, encoding, _ in chosen:
-                for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
-                    frequencies[sym] = frequencies.get(sym, 0) + freq
-            if frequencies:
-                shared_book = HuffmanCodebook.from_frequencies(
-                    frequencies, max_length=MAX_CODE_LENGTH
-                )
-
-            # Phase B: serialise every block against the shared book.
-            def finish(item: Tuple[BlockSpec, Tuple[str, PredictorOutput, Any]]):
-                spec, (name, encoding, _) = item
-                inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
-                return (
-                    self._block_entry(spec, name, used_shared),
-                    self._compress_lossless(inner),
-                )
-
-            results = self._map_blocks(finish, list(zip(plan.blocks, chosen)))
+            shared_book, rep_results = encoded
         else:
-            results = self._map_blocks(
-                lambda spec: self.encode_one_block(arr, plan, spec, error_bound_abs),
-                plan.blocks,
-            )
+            shared_book = None
+            if self._shared_codebook_active():
+                # Phase A: choose a predictor and encode every distinct
+                # block (in parallel), pooling exact symbol frequencies.
+                # Duplicate blocks contribute through their
+                # representative's multiplicity weight, which keeps the
+                # codebook byte-identical to a no-dedup encoding.
+                chosen = self._map_blocks(
+                    lambda spec: self._choose_block_encoding(
+                        plan.extract(arr, spec), error_bound_abs
+                    ),
+                    reps,
+                )
+                frequencies: Dict[int, int] = {}
+                for spec, (_, encoding, _) in zip(reps, chosen):
+                    weight = counts[spec.block_id]
+                    for sym, freq in symbol_frequencies(
+                        np.asarray(encoding.codes)
+                    ).items():
+                        frequencies[sym] = frequencies.get(sym, 0) + freq * weight
+                if frequencies:
+                    shared_book = HuffmanCodebook.from_frequencies(
+                        frequencies, max_length=MAX_CODE_LENGTH
+                    )
+
+                # Phase B: serialise each representative against the book.
+                def finish(item: Tuple[BlockSpec, Tuple[str, PredictorOutput, Any]]):
+                    spec, (name, encoding, _) = item
+                    inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
+                    return (
+                        self._block_entry(spec, name, used_shared),
+                        self._compress_lossless(inner),
+                    )
+
+                rep_results = self._map_blocks(finish, list(zip(reps, chosen)))
+            else:
+                rep_results = self._map_blocks(
+                    lambda spec: self._encode_or_reuse_block(
+                        arr, plan, spec, error_bound_abs, digests
+                    ),
+                    reps,
+                )
         header = self.blocked_header(arr, plan, error_bound_abs, shared_book=shared_book)
-        return CompressedBlob.assemble(header, list(results))
+        return CompressedBlob.assemble(
+            header, self._expand_aliases(plan, reps, rep_results, alias_of)
+        )
 
     def _predictor_for(self, name: str, meta: Dict[str, Any]) -> Predictor:
         # Rebuild the predictor from the block's recorded meta rather than
@@ -783,9 +996,19 @@ class PredictionPipelineCompressor(Compressor):
     def _decompress_blocked(self, blob: CompressedBlob) -> np.ndarray:
         backend = self._backend_for(blob)
         out = np.empty(blob.shape, dtype=np.float64)
+        # Alias entries point at their representative's section; memoising
+        # per section decodes each distinct payload once however many
+        # blocks share it.  Dict get/set are atomic under the GIL and a
+        # racy duplicate decode is merely redundant work, so the threaded
+        # fan-out needs no lock.
+        decoded: Dict[str, np.ndarray] = {}
 
         def decode_block(entry):
-            spec, recon = self._decode_block_entry(blob, entry, backend)
+            recon = decoded.get(entry["section"])
+            if recon is None:
+                _, recon = self._decode_block_entry(blob, entry, backend)
+                decoded[entry["section"]] = recon
+            spec = BlockSpec.from_dict(entry)
             # Each block writes a disjoint region of the output, so the
             # per-block tasks can run concurrently without locking.
             out[spec.slices()] = recon

@@ -25,6 +25,12 @@ VALID_MODES: Tuple[str, ...] = ("direct", "compressed", "grouped")
 #:    finishes encoding, with random-access decode at the destination.
 VALID_TRANSFER_MODES: Tuple[str, ...] = ("bulk", "streamed")
 
+#: Content-addressed blob cache modes.
+#:  * ``off``       — no cache lookups or writes.
+#:  * ``read``      — consult a warm cache, never grow it.
+#:  * ``readwrite`` — consult and populate.
+VALID_CACHE_MODES: Tuple[str, ...] = ("off", "read", "readwrite")
+
 
 @dataclass
 class OcelotConfig:
@@ -79,6 +85,14 @@ class OcelotConfig:
             (with ``adaptive_predictor``), per-block predictor selection
             uses the learned policy instead of brute-forcing every
             candidate.
+        cache_dir: directory of the content-addressed blob/block cache
+            shared across jobs and tenants; required whenever
+            ``cache_mode`` is not ``off``.
+        cache_mode: ``off`` (default) disables caching, ``read`` consults
+            a warm cache without growing it, ``readwrite`` populates it.
+        cache_max_bytes: size cap of the cache directory; exceeding it
+            evicts least-recently-used entries after each store.  ``None``
+            leaves the cache unbounded.
     """
 
     error_bound: float = 1e-3
@@ -105,6 +119,9 @@ class OcelotConfig:
     transfer_mode: str = "bulk"
     stream_window: int = 8
     block_policy_path: Optional[str] = None
+    cache_dir: Optional[str] = None
+    cache_mode: str = "off"
+    cache_max_bytes: Optional[int] = None
     size_scale: float = 1.0
     work_time_scale: Optional[float] = None
     assumed_compression_throughput_mbps: Optional[float] = None
@@ -152,6 +169,16 @@ class OcelotConfig:
                 "block_policy_path requires adaptive_predictor (the policy "
                 "replaces brute-force per-block predictor selection)"
             )
+        if self.cache_mode not in VALID_CACHE_MODES:
+            raise ConfigurationError(
+                f"cache_mode must be one of {VALID_CACHE_MODES}, got {self.cache_mode!r}"
+            )
+        if self.cache_mode != "off" and not self.cache_dir:
+            raise ConfigurationError(
+                f"cache_mode={self.cache_mode!r} requires cache_dir"
+            )
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ConfigurationError("cache_max_bytes must be >= 1 (or None for unbounded)")
         if self.size_scale <= 0:
             raise ConfigurationError("size_scale must be positive")
         if self.work_time_scale is not None and self.work_time_scale <= 0:

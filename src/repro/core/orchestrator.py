@@ -14,10 +14,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from ..cache import (
+    array_content_digest,
+    blob_cache_key,
+    build_blob_cache,
+    pipeline_fingerprint,
+)
 from ..compression import CompressedBlob, Compressor, create_blocked_compressor
 from ..datasets.base import Field, ScientificDataset
 from ..errors import OrchestrationError
@@ -51,6 +57,17 @@ class StagedFile:
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             self.size_bytes = self.field.nbytes
+
+
+@dataclass
+class _CacheProbe:
+    """Blob-cache lookup result for one staged file."""
+
+    file: StagedFile
+    digest: str
+    key: str
+    #: Stored blob bytes on a hit; ``None`` on a miss.
+    payload: Optional[bytes] = None
 
 
 @dataclass
@@ -97,6 +114,11 @@ class OcelotOrchestrator:
         )
         self.grouper = FileGrouper()
         self.sentinel = Sentinel(self.testbed.service.default_settings)
+        #: Content-addressed blob/block cache (``None`` when cache_mode is
+        #: off).  Instances share the on-disk tree: every job opens its
+        #: own handle on ``config.cache_dir``, which is what makes hits
+        #: cross-tenant.
+        self.blob_cache = build_blob_cache(config)
         self._block_policy = None
         self._block_policy_loaded = False
         #: Suffix appended to the dataset name in every simulated-filesystem
@@ -304,32 +326,74 @@ class OcelotOrchestrator:
             },
         )
 
+        # 1b. Consult the content-addressed blob cache: files whose
+        # compressed bytes are already stored skip compression entirely.
+        probes = self._consult_blob_cache(staged, plan)
+        streamed = self.config.transfer_mode == "streamed" and mode == "compressed"
+        hit_probes: List[_CacheProbe] = [
+            p for p in (probes or []) if p.payload is not None
+        ]
+        if streamed and hit_probes and len(hit_probes) < len(probes or []):
+            # A partial hit cannot join a streamed run (blocks stream from
+            # freshly encoded files only), so those hits are set aside and
+            # their files stream uncached.
+            notes.append(
+                f"streamed run bypassed {len(hit_probes)} partial blob-cache hits"
+            )
+            for probe in hit_probes:
+                probe.payload = None
+            hit_probes = []
+        if probes is None:
+            miss_files = list(staged)
+        else:
+            miss_files = [p.file for p in probes if p.payload is None]
+        full_hit = probes is not None and not miss_files
+        if full_hit and streamed:
+            # Nothing left to encode: short-circuit to a bulk ship of the
+            # cached blobs (transfer billing stays on the same clock rules).
+            streamed = False
+            notes.append("full blob-cache hit: streamed run shipped cached blobs in bulk")
+        if hit_probes:
+            notes.append(
+                f"blob cache served {len(hit_probes)}/{len(staged)} files "
+                f"(mode {self.config.cache_mode})"
+            )
+
         # 2. Request compute nodes for the compression job (capped at the
-        # size of the source site's partition).
+        # size of the source site's partition).  A full cache hit skips
+        # the batch-scheduler request entirely — those nodes stay free for
+        # cold jobs.
         scheduler = self.faas.endpoint(source).scheduler
         compression_nodes = min(self.config.compression_nodes, scheduler.total_nodes)
-        # In scheduler mode (advance_clock=False) node occupancy is charged
-        # by the job scheduler's timeline pools, so the batch scheduler
-        # contributes only its sampled queue wait — charging its backfill
-        # deficit too would count the same contention twice.
-        allocation = scheduler.request(
-            compression_nodes,
-            now=self.testbed.clock.now,
-            include_backfill=advance_clock,
-        )
-        timings.node_wait_s = allocation.wait_s
+        allocation = None
+        if not full_hit:
+            # In scheduler mode (advance_clock=False) node occupancy is
+            # charged by the job scheduler's timeline pools, so the batch
+            # scheduler contributes only its sampled queue wait — charging
+            # its backfill deficit too would count the same contention twice.
+            allocation = scheduler.request(
+                compression_nodes,
+                now=self.testbed.clock.now,
+                include_backfill=advance_clock,
+            )
+            timings.node_wait_s = allocation.wait_s
         # A streamed run drives the shared clock itself (the transfer
         # stream stamps per-chunk wire times against it), so it always
         # advances for real; the bulk path only advances when this
         # generator is the sole owner of the clock.
-        streamed = self.config.transfer_mode == "streamed" and mode == "compressed"
         try:
             # 3. Sentinel: transfer raw files while waiting for nodes.
+            # Cache-hit files are never shipped raw — their compressed
+            # bytes already exist, so only the miss set is eligible.
             raw_paths: List[str] = []
-            to_compress = list(staged)
-            if self.config.sentinel_enabled and allocation.wait_s > self.config.sentinel_wait_threshold_s:
+            to_compress = list(miss_files)
+            if (
+                allocation is not None
+                and self.config.sentinel_enabled
+                and allocation.wait_s > self.config.sentinel_wait_threshold_s
+            ):
                 decision = self.sentinel.plan(
-                    [(f.path, f.size_bytes) for f in staged],
+                    [(f.path, f.size_bytes) for f in miss_files],
                     wait_s=allocation.wait_s,
                     link=link,
                     threshold_s=self.config.sentinel_wait_threshold_s,
@@ -337,7 +401,7 @@ class OcelotOrchestrator:
                 raw_paths = decision.raw_paths
                 timings.raw_transfer_s = decision.raw_transfer_s
                 raw_set = set(raw_paths)
-                to_compress = [f for f in staged if f.path not in raw_set]
+                to_compress = [f for f in miss_files if f.path not in raw_set]
                 if raw_paths:
                     dst_endpoint.filesystem.copy_from(src_endpoint.filesystem, raw_paths)
                     notes.append(
@@ -401,46 +465,80 @@ class OcelotOrchestrator:
             # uses either the measured per-file times (scaled by
             # work_time_scale) or an assumed native-compressor throughput
             # when configured.
-            outcome = self._compress_files(to_compress, plan, source)
-            if self.config.assumed_compression_throughput_mbps:
-                throughput = self.config.assumed_compression_throughput_mbps * 1e6
-                per_file_times = [f.size_bytes / throughput for f in to_compress]
-                time_scale = 1.0
-            else:
-                per_file_times = outcome.per_file_times_s
-                time_scale = self.config.resolved_work_time_scale()
-            makespan = self.executor.compression_makespan(
-                per_file_times,
-                outcome.per_file_output_bytes,
-                nodes=compression_nodes,
-                cores_per_node=self.config.cores_per_node,
-                time_scale=time_scale,
-            )
-            timings.compression_s = makespan.makespan_s
+            probe_map = {p.file.path: p for p in probes} if probes is not None else None
+            outcome = self._compress_files(to_compress, plan, source, probe_map)
+            if allocation is not None:
+                if self.config.assumed_compression_throughput_mbps:
+                    throughput = self.config.assumed_compression_throughput_mbps * 1e6
+                    per_file_times = [f.size_bytes / throughput for f in to_compress]
+                    time_scale = 1.0
+                else:
+                    per_file_times = outcome.per_file_times_s
+                    time_scale = self.config.resolved_work_time_scale()
+                makespan = self.executor.compression_makespan(
+                    per_file_times,
+                    outcome.per_file_output_bytes,
+                    nodes=compression_nodes,
+                    cores_per_node=self.config.cores_per_node,
+                    time_scale=time_scale,
+                )
+                timings.compression_s = makespan.makespan_s
+            # Cached blobs are read off the parallel filesystem instead of
+            # being recomputed; billing that read keeps warm runs honest
+            # (tiny, but never free).
+            cache_read_s = 0.0
+            for probe in hit_probes:
+                payload = probe.payload or b""
+                outcome.blobs.append((probe.file.field.filename, payload))
+                outcome.per_file_output_bytes.append(
+                    int(len(payload) * self.config.size_scale)
+                )
+                outcome.original_bytes += probe.file.size_bytes
+                cache_read_s += (
+                    len(payload) * self.config.size_scale
+                    / self.executor.cost_model.pfs_read_bps
+                )
+            timings.compression_s += cache_read_s
             if advance_clock:
                 self.testbed.clock.advance(timings.compression_s)
         finally:
             # Normal exit from the compression phase and a cancelled job
             # closing this generator mid-phase both land here: the nodes
             # go back to the pool (release is idempotent, so the streamed
-            # branch having already released is fine).
-            scheduler.release(allocation)
+            # branch having already released is fine; a full cache hit
+            # never requested any).
+            if allocation is not None:
+                scheduler.release(allocation)
+        hit_names = {p.file.field.filename for p in hit_probes}
+        files_detail = []
+        for (name, _), size in zip(outcome.blobs, outcome.per_file_output_bytes):
+            entry: Dict[str, Any] = {"name": name, "bytes": size}
+            if probes is not None:
+                entry["cache"] = "hit" if name in hit_names else "miss"
+            files_detail.append(entry)
+        compress_detail: Dict[str, Any] = {
+            "files": files_detail,
+            "bytes_compressed": outcome.compressed_bytes,
+            "original_bytes": outcome.original_bytes,
+            "ratio": outcome.ratio if outcome.blobs else 1.0,
+        }
+        cache_hits = len(hit_probes)
+        cache_misses = len(probes) - cache_hits if probes is not None else 0
+        if probes is not None:
+            compress_detail["cache"] = {
+                "mode": self.config.cache_mode,
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": cache_hits / len(probes) if probes else 0.0,
+            }
         yield PhaseStep(
             "compress",
             duration_s=timings.compression_s,
             endpoint=source,
-            nodes=compression_nodes,
-            detail={
-                "files": [
-                    {"name": name, "bytes": size}
-                    for (name, _), size in zip(
-                        outcome.blobs, outcome.per_file_output_bytes
-                    )
-                ],
-                "bytes_compressed": outcome.compressed_bytes,
-                "original_bytes": outcome.original_bytes,
-                "ratio": outcome.ratio if outcome.blobs else 1.0,
-            },
+            # A full cache hit ran on zero compute nodes: the scheduler's
+            # per-endpoint node pool must not bill this phase.
+            nodes=compression_nodes if allocation is not None else 0,
+            detail=compress_detail,
         )
 
         # 5. Optionally group the compressed files.
@@ -516,9 +614,17 @@ class OcelotOrchestrator:
             },
         )
 
-        # 7. Decompress at the destination.
+        # 7. Decompress at the destination.  Cache-hit files decode like
+        # any other blob, and their originals participate in the quality
+        # check — a warm run must report the same PSNR as the cold run
+        # that populated the cache.
         quality = self._decompress_and_verify(
-            dataset, to_compress, transfer_paths, destination, mode, timings,
+            dataset,
+            to_compress + [p.file for p in hit_probes],
+            transfer_paths,
+            destination,
+            mode,
+            timings,
             advance_clock=advance_clock,
         )
         yield PhaseStep(
@@ -552,6 +658,8 @@ class OcelotOrchestrator:
             measured_psnr_db=quality.get("psnr"),
             max_abs_error=quality.get("max_abs_error"),
             notes=notes,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
         return report
 
@@ -646,22 +754,74 @@ class OcelotOrchestrator:
             block_executor=self.executor.map_blocks,
             block_policy=self._load_block_policy(),
             shared_codebook=self.config.shared_codebook,
+            block_cache=self.blob_cache,
+            block_cache_tag=self.config.block_policy_path or "",
         )
 
+    def _cache_fingerprint(self, compressor: str, error_bound_abs: float) -> Dict[str, Any]:
+        """Pipeline fingerprint of this run for blob-cache keys.
+
+        Everything that changes the compressed bytes participates, so two
+        jobs share an entry only when compressing would produce the same
+        output: compressor, resolved absolute bound, block size, codebook
+        mode, adaptive selection and the learned block policy.
+        """
+        return pipeline_fingerprint(
+            compressor=compressor,
+            error_bound_abs=error_bound_abs,
+            block_shape=self.config.block_size,
+            codebook_mode="shared" if self.config.shared_codebook else "per-block",
+            adaptive_predictor=self.config.adaptive_predictor,
+            block_policy=self.config.block_policy_path or "",
+        )
+
+    def _consult_blob_cache(
+        self, staged: List[StagedFile], plan: CompressionPlan
+    ) -> Optional[List[_CacheProbe]]:
+        """Look every staged file up in the whole-blob cache tier.
+
+        Returns ``None`` when caching is off (so the off path never hashes
+        a byte), else one :class:`_CacheProbe` per file with the stored
+        blob payload attached on a hit.
+        """
+        cache = self.blob_cache
+        if cache is None:
+            return None
+        probes: List[_CacheProbe] = []
+        for staged_file in staged:
+            data = np.asarray(staged_file.field.data)
+            digest = array_content_digest(data)
+            key = blob_cache_key(
+                digest,
+                self._cache_fingerprint(plan.compressor, plan.error_bound.absolute_for(data)),
+            )
+            payload = cache.get_blob(key)
+            probes.append(_CacheProbe(file=staged_file, digest=digest, key=key, payload=payload))
+        return probes
+
     def _compress_files(
-        self, staged: List[StagedFile], plan: CompressionPlan, source: str
+        self,
+        staged: List[StagedFile],
+        plan: CompressionPlan,
+        source: str,
+        probes: Optional[Dict[str, _CacheProbe]] = None,
     ) -> _CompressionOutcome:
         """Compress staged files for real, recording per-file cost.
 
         Each file's blocks fan out through :meth:`ParallelExecutor.map_blocks`
         (when blocked mode is on), so the per-file wall time already
-        accounts for local multi-core execution.
+        accounts for local multi-core execution.  With caching on,
+        ``probes`` carries each file's content digest and cache key: they
+        are stamped into the blob metadata (so operators can correlate
+        blobs with cache entries) and freshly compressed blobs are stored
+        back into the whole-blob tier.
         """
         outcome = _CompressionOutcome()
         if not staged:
             return outcome
         compressor = self._build_compressor(plan.compressor)
         for staged_file in staged:
+            probe = (probes or {}).get(staged_file.path)
             start = time.perf_counter()
             result = compressor.compress(
                 staged_file.field.data,
@@ -669,7 +829,21 @@ class OcelotOrchestrator:
                 verify=self.config.verify_error_bound,
             )
             elapsed = time.perf_counter() - start
+            if probe is not None:
+                result.blob.metadata["content_digest"] = probe.digest
+                result.blob.metadata["cache_key"] = probe.key
             payload = result.blob.to_bytes()
+            if probe is not None and self.blob_cache is not None and self.blob_cache.writable:
+                self.blob_cache.put_blob(
+                    probe.key,
+                    payload,
+                    meta={
+                        "file": staged_file.field.filename,
+                        "compressor": plan.compressor,
+                        "error_bound": plan.error_bound.describe(),
+                        "content_digest": probe.digest,
+                    },
+                )
             outcome.blobs.append((staged_file.field.filename, payload))
             outcome.per_file_times_s.append(elapsed)
             outcome.per_file_output_bytes.append(int(len(payload) * self.config.size_scale))

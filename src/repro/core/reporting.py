@@ -80,6 +80,12 @@ class TransferReport:
     max_abs_error: Optional[float] = None
     notes: List[str] = field(default_factory=list)
     per_file: List[Dict[str, float]] = field(default_factory=list)
+    #: Whole-blob cache outcome of the compress phase: files whose
+    #: compressed bytes came straight from the content-addressed cache
+    #: vs. files that were really compressed.  Both stay zero when the
+    #: cache is off, which keeps ``cache_hit_rate`` ``None``.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -100,6 +106,14 @@ class TransferReport:
         if self.timings.transfer_s <= 0:
             return float("inf")
         return self.transferred_bytes / self.timings.transfer_s
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of files served from the blob cache (``None`` when off)."""
+        total = self.cache_hits + self.cache_misses
+        if total <= 0:
+            return None
+        return self.cache_hits / total
 
     @property
     def gain_vs_direct(self) -> Optional[float]:
@@ -136,6 +150,9 @@ class TransferReport:
             "gain_vs_direct": self.gain_vs_direct,
             "measured_psnr_db": self.measured_psnr_db,
             "max_abs_error": self.max_abs_error,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
             "notes": list(self.notes),
         }
 

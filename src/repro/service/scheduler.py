@@ -273,6 +273,7 @@ class JobScheduler:
             detail={
                 "total_s": getattr(report, "total_s", None),
                 "compression_ratio": getattr(report, "compression_ratio", None),
+                "cache_hit_rate": getattr(report, "cache_hit_rate", None),
             },
         )
 

@@ -120,8 +120,10 @@ class TestCommands:
         first = payload["blocks"][0]
         assert set(first) == {
             "id", "origin", "shape", "predictor", "codebook", "section", "section_bytes",
+            "alias_of",
         }
         assert first["section_bytes"] > 0
+        assert first["alias_of"] is None
         # sz3-fast runs no entropy stage, so there is no codebook to report.
         assert payload["codebook"]["mode"] == "none"
 
