@@ -196,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="nodes each job requests for compression (small "
                              "requests let concurrent jobs overlap on the partition)")
     submit.add_argument("--decompression-nodes", type=_positive_int, default=4)
+    submit.add_argument("--tenant", default=None, metavar="NAME",
+                        help="tenant the jobs are scheduled under (the unit of "
+                             "weighted fair queueing and admission quotas)")
+    submit.add_argument("--priority", default=None, choices=["low", "normal", "high"],
+                        help="strict scheduler priority class (higher classes "
+                             "dispatch before lower ones)")
     _add_cache_arguments(submit)
     submit.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH",
                         help="job-state file shared by submit/jobs/status")
@@ -205,6 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs = sub.add_parser("jobs", help="list jobs recorded in the state file")
     jobs.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH")
+    jobs.add_argument("--tenant", default=None, metavar="NAME",
+                      help="only list jobs of this tenant")
     jobs.add_argument("--json", action="store_true")
 
     status = sub.add_parser("status", help="show one recorded job (with events)")
@@ -581,9 +589,14 @@ def _load_job_state(path: str) -> dict:
 
 
 def _save_job_state(path: str, state: dict) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(state, handle, indent=2)
-        handle.write("\n")
+    """Persist the job-state file atomically (temp + ``os.replace``).
+
+    A crash mid-write leaves the previous state intact instead of a
+    truncated JSON file that would corrupt ``ocelot jobs``.
+    """
+    from .service import atomic_write_json
+
+    atomic_write_json(path, state)
 
 
 def _job_row(record: dict) -> str:
@@ -591,12 +604,43 @@ def _job_row(record: dict) -> str:
     report = record.get("report") or {}
     return (
         f"{record['job_id']:>10s} {record.get('status', ''):>10s}"
+        f" {record.get('tenant') or 'default':>10s}"
         f" {record.get('dataset', ''):>10s}"
         f" {record.get('source', '')}->{record.get('destination', ''):<8s}"
         f" {record.get('mode') or 'config':>10s}"
         f" {format_duration(makespan) if makespan is not None else '-':>10s}"
         f" {report.get('compression_ratio', 0) or 0:>7.2f}x"
     )
+
+
+_JOB_HEADER = (
+    f"{'job':>10s} {'status':>10s} {'tenant':>10s} {'dataset':>10s} {'route':>15s}"
+    f" {'mode':>10s} {'makespan':>10s} {'ratio':>8s}"
+)
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def _jobs_summary(records: List[dict]) -> str:
+    """One line of aggregate job stats: counts by status and p99 wait."""
+    counts: dict = {}
+    for record in records:
+        status = record.get("status") or "unknown"
+        counts[status] = counts.get(status, 0) + 1
+    parts = [f"{status}={counts[status]}" for status in sorted(counts)]
+    waits = [
+        record["wait_s"] for record in records
+        if isinstance(record.get("wait_s"), (int, float))
+    ]
+    if waits:
+        parts.append(f"p50 wait {format_duration(_percentile(waits, 0.50))}")
+        parts.append(f"p99 wait {format_duration(_percentile(waits, 0.99))}")
+    return f"{len(records)} job(s): " + ", ".join(parts)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -626,6 +670,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                         destination=args.destination,
                         mode=args.mode,
                         label=f"{app}#{copy}" if args.copies > 1 else app,
+                        tenant=args.tenant,
+                        priority=args.priority,
                     )
                 )
             )
@@ -642,8 +688,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         )
         print()
         return 0
-    print(f"{'job':>10s} {'status':>10s} {'dataset':>10s} {'route':>15s}"
-          f" {'mode':>10s} {'makespan':>10s} {'ratio':>8s}")
+    print(_JOB_HEADER)
     for record in records:
         print(_job_row(record))
     total = sum(r.get("makespan_s") or 0.0 for r in records)
@@ -661,18 +706,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
     state = _load_job_state(args.state)
+    records = state["jobs"]
+    if args.tenant:
+        records = [
+            record for record in records
+            if (record.get("tenant") or "default") == args.tenant
+        ]
     if args.json:
-        json.dump(state, sys.stdout, indent=2)
+        payload = dict(state)
+        payload["jobs"] = records
+        if records:
+            payload["summary"] = _jobs_summary(records)
+        json.dump(payload, sys.stdout, indent=2)
         print()
         return 0
-    if not state["jobs"]:
-        print(f"no jobs recorded in {args.state}")
+    if not records:
+        scope = f" for tenant {args.tenant!r}" if args.tenant else ""
+        print(f"no jobs recorded in {args.state}{scope}")
         return 0
-    print(f"{'job':>10s} {'status':>10s} {'dataset':>10s} {'route':>15s}"
-          f" {'mode':>10s} {'makespan':>10s} {'ratio':>8s}")
-    for record in state["jobs"]:
+    print(_JOB_HEADER)
+    for record in records:
         print(_job_row(record))
-    if "combined_makespan_s" in state:
+    print(_jobs_summary(records))
+    if "combined_makespan_s" in state and not args.tenant:
         print(f"combined makespan (last batch): "
               f"{format_duration(state['combined_makespan_s'])}")
     return 0

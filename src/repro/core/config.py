@@ -31,6 +31,11 @@ VALID_TRANSFER_MODES: Tuple[str, ...] = ("bulk", "streamed")
 #:  * ``readwrite`` — consult and populate.
 VALID_CACHE_MODES: Tuple[str, ...] = ("off", "read", "readwrite")
 
+#: Strict priority classes of the multi-tenant job scheduler, lowest to
+#: highest.  A higher class always dispatches before a lower one;
+#: weighted fair queueing applies among tenants *within* a class.
+VALID_PRIORITIES: Tuple[str, ...] = ("low", "normal", "high")
+
 
 @dataclass
 class OcelotConfig:
@@ -93,6 +98,13 @@ class OcelotConfig:
         cache_max_bytes: size cap of the cache directory; exceeding it
             evicts least-recently-used entries after each store.  ``None``
             leaves the cache unbounded.
+        tenant: default tenant jobs submitted under this configuration
+            belong to (a :class:`~repro.service.spec.TransferSpec` may
+            name its own).  Tenants are the unit of weighted fair
+            queueing and admission quotas in the job scheduler.
+        priority: default scheduler priority class (``low`` / ``normal``
+            / ``high``); higher classes dispatch strictly before lower
+            ones.
     """
 
     error_bound: float = 1e-3
@@ -122,6 +134,8 @@ class OcelotConfig:
     cache_dir: Optional[str] = None
     cache_mode: str = "off"
     cache_max_bytes: Optional[int] = None
+    tenant: str = "default"
+    priority: str = "normal"
     size_scale: float = 1.0
     work_time_scale: Optional[float] = None
     assumed_compression_throughput_mbps: Optional[float] = None
@@ -179,6 +193,12 @@ class OcelotConfig:
             )
         if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
             raise ConfigurationError("cache_max_bytes must be >= 1 (or None for unbounded)")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigurationError("tenant must be a non-empty string")
+        if self.priority not in VALID_PRIORITIES:
+            raise ConfigurationError(
+                f"priority must be one of {VALID_PRIORITIES}, got {self.priority!r}"
+            )
         if self.size_scale <= 0:
             raise ConfigurationError("size_scale must be positive")
         if self.work_time_scale is not None and self.work_time_scale <= 0:

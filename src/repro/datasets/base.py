@@ -59,6 +59,11 @@ class ScientificDataset:
     def __init__(self, name: str, fields: Optional[List[Field]] = None) -> None:
         self.name = name
         self._fields: List[Field] = list(fields or [])
+        #: Generator recipe able to rebuild the dataset byte-identically
+        #: (set by ``generate_application``); ``None`` for ad-hoc data.
+        #: The service's durable job store persists it so crashed jobs
+        #: can be re-queued.
+        self.recipe: Optional[Dict[str, object]] = None
 
     def add(self, new_field: Field) -> None:
         """Append a field to the dataset."""

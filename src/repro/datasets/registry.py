@@ -131,4 +131,15 @@ def generate_application(
                     dtype=dtype,
                 )
             )
+    # Generation is fully deterministic, so this recipe rebuilds the
+    # dataset byte-identically — the durable job store persists it and
+    # `OcelotService.recover()` uses it to re-queue jobs after a crash.
+    dataset.recipe = {
+        "application": application,
+        "snapshots": n_snapshots,
+        "scale": scale,
+        "seed": seed,
+        "fields": selected,
+        "dtype": dtype,
+    }
     return dataset

@@ -80,3 +80,13 @@ class GroupingError(ReproError):
 
 class OrchestrationError(ReproError):
     """Raised when the Ocelot orchestrator encounters an unrecoverable state."""
+
+
+class AdmissionError(OrchestrationError):
+    """Raised when a job request exceeds its tenant's admission quota.
+
+    This is the *typed rejection* of admission control: the request can
+    never be satisfied under the tenant's resource share (for example a
+    single job asking for more compute nodes than the whole share), so
+    it fails at the submit boundary instead of queueing forever.
+    """

@@ -4,26 +4,37 @@
 service: declarative, validated :class:`TransferSpec` requests go in,
 :class:`JobHandle` objects come out immediately, and a
 :class:`JobScheduler` multiplexes the resulting jobs — split into
-resumable phase steps — over one shared testbed with contention for
-compute nodes and WAN links.
+resumable phase steps — over one shared testbed with an event-driven
+core: strict priority classes over weighted fair queueing across
+tenants, per-tenant admission quotas (:class:`TenantQuota`), contention
+for compute nodes and WAN links, and an optional durable
+:class:`JobStore` write-ahead log that lets
+:meth:`OcelotService.recover` resume a crashed service.
 """
 
 from __future__ import annotations
 
-from .api import OcelotService
+from .api import OcelotService, RecoveryResult
 from .events import JobEvent
 from .jobs import JobHandle, JobStatus, PhaseSpan, TransferJob
+from .quotas import TenantQuota
 from .scheduler import JobScheduler, UnitPool
 from .spec import TransferSpec
+from .store import JobStore, atomic_write_json, atomic_write_text
 
 __all__ = [
     "OcelotService",
+    "RecoveryResult",
     "TransferSpec",
+    "TenantQuota",
     "JobHandle",
     "JobStatus",
     "JobEvent",
     "JobScheduler",
+    "JobStore",
     "PhaseSpan",
     "TransferJob",
     "UnitPool",
+    "atomic_write_json",
+    "atomic_write_text",
 ]

@@ -6,7 +6,15 @@ shared endpoints, schedulers and WAN links; the service validates each
 request at the boundary, hands back a
 :class:`~repro.service.jobs.JobHandle` immediately, and multiplexes the
 resulting jobs over one testbed through the
-:class:`~repro.service.scheduler.JobScheduler`.
+:class:`~repro.service.scheduler.JobScheduler` — strict priority
+classes over weighted fair queueing across tenants, with per-tenant
+admission quotas (:class:`~repro.service.quotas.TenantQuota`).
+
+With a :class:`~repro.service.store.JobStore` attached, every
+submission and terminal transition is appended to a JSONL write-ahead
+log, and :meth:`OcelotService.recover` resumes a crashed service:
+finished jobs keep their recorded terminal states (no duplicated
+billing) and unfinished ones are re-queued from their persisted specs.
 
 The legacy blocking calls (``Ocelot.transfer_dataset`` /
 ``Ocelot.compare_modes``) are thin submit-and-wait wrappers over this
@@ -16,7 +24,9 @@ service, so both surfaces produce identical reports.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, List, Optional
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..core.config import OcelotConfig
 from ..core.orchestrator import OcelotOrchestrator
@@ -24,10 +34,33 @@ from ..errors import OrchestrationError
 from ..faas.service import FuncXService, build_faas_service
 from ..transfer.testbed import Testbed, build_testbed
 from .jobs import JobHandle, TransferJob
+from .quotas import TenantQuota, priority_class
 from .scheduler import JobScheduler
 from .spec import TransferSpec
+from .store import JobStore
 
-__all__ = ["OcelotService"]
+__all__ = ["OcelotService", "RecoveryResult"]
+
+_TERMINAL_STATUSES = ("completed", "failed", "cancelled")
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of :meth:`OcelotService.recover`.
+
+    Attributes:
+        resumed: handles of jobs re-queued from the write-ahead log
+            (they had not reached a terminal state before the crash).
+        finished: persisted records of jobs that were already terminal —
+            recovery never re-runs (or re-bills) these.
+        unrecoverable: persisted records of unfinished jobs whose
+            dataset could not be rebuilt (no generation recipe); they
+            are left out of the queue rather than guessed at.
+    """
+
+    resumed: List[JobHandle] = field(default_factory=list)
+    finished: List[Dict[str, object]] = field(default_factory=list)
+    unrecoverable: List[Dict[str, object]] = field(default_factory=list)
 
 
 class OcelotService:
@@ -41,12 +74,20 @@ class OcelotService:
         orchestrator_factory: Optional[Callable[[OcelotConfig], OcelotOrchestrator]] = None,
         job_id_prefix: str = "job",
         first_job_number: int = 1,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        store: Optional[Union[JobStore, str]] = None,
     ) -> None:
         self.config = config or OcelotConfig()
         self.testbed = testbed or build_testbed()
         self.faas = faas or build_faas_service(clock=self.testbed.clock)
         self._factory = orchestrator_factory or self._default_orchestrator
         self.scheduler = JobScheduler(self.testbed, self.faas)
+        self.scheduler.on_terminal = self._on_job_terminal
+        for tenant, quota in (quotas or {}).items():
+            self.scheduler.set_quota(tenant, quota)
+        self.store: Optional[JobStore] = (
+            JobStore(store) if isinstance(store, str) else store
+        )
         self._job_id_prefix = job_id_prefix
         self._counter = itertools.count(max(1, int(first_job_number)))
         self._handles: dict[str, JobHandle] = {}
@@ -55,31 +96,59 @@ class OcelotService:
         return OcelotOrchestrator(config=config, testbed=self.testbed, faas=self.faas)
 
     # ------------------------------------------------------------------ #
+    # Quotas
+    # ------------------------------------------------------------------ #
+    def set_quota(self, tenant: str, quota: Optional[TenantQuota]) -> None:
+        """Install (or clear) one tenant's admission quota and weight."""
+        self.scheduler.set_quota(tenant, quota)
+
+    def quota(self, tenant: str) -> Optional[TenantQuota]:
+        """The quota currently installed for a tenant, if any."""
+        return self.scheduler.quota(tenant)
+
+    # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
     def submit(self, spec: TransferSpec) -> JobHandle:
         """Validate a request and enqueue it; returns its handle.
 
-        Validation — mode, endpoints, WAN route, compressor, per-job
-        config overrides — happens here, before any staging or clock
-        movement, so a bad request costs nothing and fails with a precise
-        error.  The job itself runs when the scheduler is drained (any
-        handle's :meth:`~repro.service.jobs.JobHandle.wait` /
+        Validation — mode, endpoints, WAN route, compressor, tenant and
+        priority, per-job config overrides — happens here, before any
+        staging or clock movement, so a bad request costs nothing and
+        fails with a precise error.  A request whose node demand can
+        never fit its tenant's quota raises
+        :class:`~repro.errors.AdmissionError`; one that merely exceeds
+        the tenant's current in-flight allowance is admitted later
+        (``QUEUED_ADMISSION``).  The job itself runs when the scheduler
+        is drained (any handle's
+        :meth:`~repro.service.jobs.JobHandle.wait` /
         :meth:`~repro.service.jobs.JobHandle.result`, or
         :meth:`run_pending`).
         """
+        return self._submit_spec(spec)
+
+    def _submit_spec(self, spec: TransferSpec, job_id: Optional[str] = None) -> JobHandle:
         if not isinstance(spec, TransferSpec):
             raise OrchestrationError(
                 f"submit() takes a TransferSpec, got {type(spec).__name__}"
             )
         job_config = spec.validate(self.config, self.testbed)
+        tenant = spec.resolved_tenant(job_config)
+        priority = spec.resolved_priority(job_config)
+        # Typed rejection: a request that can never fit the tenant's
+        # node share fails here instead of queueing forever.
+        self.scheduler.check_admissible(
+            tenant,
+            max(job_config.compression_nodes, job_config.decompression_nodes),
+        )
         if self.scheduler.idle and self.testbed.clock.now < self.scheduler.makespan_s:
             # The clock was rewound (e.g. between compare_modes runs):
             # start a fresh scheduling epoch instead of queueing the new
             # job behind the previous epoch's resource horizons.
             self.scheduler.reset_timeline(self.testbed.clock.now)
         orchestrator = self._factory(job_config)
-        job_id = f"{self._job_id_prefix}-{next(self._counter):04d}"
+        if job_id is None:
+            job_id = f"{self._job_id_prefix}-{next(self._counter):04d}"
         # Concurrent jobs naming the same dataset would share staged and
         # compressed artefact paths on the simulated filesystems, letting
         # one tenant's writes clobber another's between phase steps (and
@@ -98,6 +167,9 @@ class OcelotService:
             config=job_config,
             orchestrator=orchestrator,
             submitted_at=self.testbed.clock.now,
+            tenant=tenant,
+            priority=priority,
+            priority_class=priority_class(priority),
         )
         # Creating the generator runs nothing: staging starts only when
         # the scheduler first resumes the job.
@@ -109,6 +181,13 @@ class OcelotService:
             advance_clock=False,
         )
         job.emit("submitted", job.submitted_at, detail=spec.describe())
+        if self.store is not None:
+            self.store.record_submitted(
+                job_id,
+                job.submitted_at,
+                {**spec.describe(), "tenant": tenant, "priority": priority},
+                dataset_recipe=getattr(spec.dataset, "recipe", None),
+            )
         self.scheduler.add(job)
         handle = JobHandle(job, self.scheduler)
         self._handles[job.job_id] = handle
@@ -117,6 +196,84 @@ class OcelotService:
     def submit_batch(self, specs: Iterable[TransferSpec]) -> List[JobHandle]:
         """Submit several requests; they will interleave when drained."""
         return [self.submit(spec) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def _on_job_terminal(self, job: TransferJob) -> None:
+        """Scheduler callback: append the terminal record to the WAL."""
+        if self.store is None:
+            return
+        report = job.report.as_dict() if job.report is not None else None
+        self.store.record_terminal(
+            job.job_id,
+            job.status.value,
+            job.finished_at,
+            report=report,
+            error=str(job.error) if job.error is not None else None,
+        )
+
+    def recover(
+        self,
+        dataset_resolver: Optional[Callable[[Dict[str, object]], object]] = None,
+    ) -> RecoveryResult:
+        """Resume a crashed service from its write-ahead job store.
+
+        Folds the JSONL log into per-job states and splits them three
+        ways: jobs already terminal keep their persisted records and are
+        **not** re-run (no duplicated billing — their compute was spent
+        before the crash); unfinished jobs are re-queued under their
+        original job ids, tenants and priorities, rebuilding each
+        dataset from its persisted generation recipe (or from
+        ``dataset_resolver(state)`` when given, which wins over the
+        recipe); unfinished jobs with no way to rebuild their dataset
+        are reported as unrecoverable rather than guessed at.
+
+        Returns a :class:`RecoveryResult`; drain the ``resumed`` handles
+        (e.g. :meth:`run_pending`) to finish the persisted batch.
+        """
+        if self.store is None:
+            raise OrchestrationError("recover() needs a service with a job store")
+        if not self.scheduler.idle:
+            raise OrchestrationError("cannot recover while jobs are in flight")
+        result = RecoveryResult()
+        states = self.store.replay()
+        # Never hand out a job id the log already used.
+        id_pattern = re.compile(rf"^{re.escape(self._job_id_prefix)}-(\d+)$")
+        used = [
+            int(match.group(1))
+            for match in (id_pattern.match(job_id) for job_id in states)
+            if match
+        ]
+        if used:
+            self._counter = itertools.count(max(used) + 1)
+        for job_id, state in states.items():
+            if state.get("status") in _TERMINAL_STATUSES:
+                result.finished.append(state)
+                continue
+            dataset = None
+            if dataset_resolver is not None:
+                dataset = dataset_resolver(state)
+            if dataset is None and state.get("dataset_recipe"):
+                from ..datasets import generate_application
+
+                dataset = generate_application(**state["dataset_recipe"])
+            if dataset is None:
+                result.unrecoverable.append(state)
+                continue
+            spec_fields = dict(state.get("spec") or {})
+            spec = TransferSpec(
+                dataset=dataset,
+                source=spec_fields.get("source", ""),
+                destination=spec_fields.get("destination", ""),
+                mode=spec_fields.get("mode"),
+                label=spec_fields.get("label", ""),
+                tenant=spec_fields.get("tenant"),
+                priority=spec_fields.get("priority"),
+                overrides=dict(spec_fields.get("overrides") or {}),
+            )
+            result.resumed.append(self._submit_spec(spec, job_id=job_id))
+        return result
 
     # ------------------------------------------------------------------ #
     # Observation
@@ -167,10 +324,10 @@ class OcelotService:
 
     def scheduler_job(self, job_id: str) -> TransferJob:
         """The scheduler-side record behind a handle (internal plumbing)."""
-        for job in self.scheduler.jobs():
-            if job.job_id == job_id:
-                return job
-        raise OrchestrationError(f"unknown job {job_id!r}")
+        job = self.scheduler.get(job_id)
+        if job is None:
+            raise OrchestrationError(f"unknown job {job_id!r}")
+        return job
 
     # ------------------------------------------------------------------ #
     # Execution

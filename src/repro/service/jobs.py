@@ -31,6 +31,7 @@ __all__ = ["JobStatus", "JobHandle", "TransferJob", "PhaseSpan"]
 class JobStatus(str, enum.Enum):
     """Lifecycle states of a service job."""
 
+    QUEUED_ADMISSION = "queued_admission"
     PENDING = "pending"
     RUNNING = "running"
     COMPLETED = "completed"
@@ -87,6 +88,15 @@ class TransferJob:
     t_local: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Tenant and priority class the scheduler dispatches the job under.
+    tenant: str = "default"
+    priority: str = "normal"
+    priority_class: int = 1
+    #: Monotonic submission sequence number (scheduler tie-breaker).
+    submit_seq: int = 0
+    #: When admission control admitted the job (equals ``submitted_at``
+    #: unless the job sat in the admission queue first).
+    admitted_at: Optional[float] = None
 
     def emit(self, kind: str, time_s: float, phase: str = "",
              detail: Optional[Dict[str, object]] = None) -> JobEvent:
@@ -104,6 +114,13 @@ class TransferJob:
         if self.finished_at is None:
             return None
         return self.finished_at - self.submitted_at
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Submit-to-first-phase wait (admission + scheduling delay)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
 
 
 class JobHandle:
@@ -128,6 +145,21 @@ class JobHandle:
     def status(self) -> JobStatus:
         """Current lifecycle state."""
         return self._job.status
+
+    @property
+    def tenant(self) -> str:
+        """Tenant the job is scheduled under (fair-queueing flow)."""
+        return self._job.tenant
+
+    @property
+    def priority(self) -> str:
+        """Strict priority class the job dispatches in."""
+        return self._job.priority
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Submit-to-first-phase wait on the simulated timeline."""
+        return self._job.wait_s
 
     @property
     def started_at(self) -> Optional[float]:
@@ -194,7 +226,12 @@ class JobHandle:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "makespan_s": self.makespan_s,
+            "wait_s": self.wait_s,
             **self._job.spec.describe(),
+            # The resolved scheduling identity (the spec's fields may be
+            # None and fall back to the service configuration).
+            "tenant": self.tenant,
+            "priority": self.priority,
         }
         if self._job.report is not None:
             record["report"] = self._job.report.as_dict()

@@ -1,0 +1,67 @@
+"""Tenant quotas and priority classes for the multi-tenant scheduler.
+
+A :class:`TenantQuota` bounds what one tenant can hold *admitted* at
+once — a count of in-flight jobs and a compute-node footprint — and
+sets the tenant's weight in the scheduler's weighted fair queueing.
+Admission control applies the quota at the submit boundary:
+
+* a single job whose node request alone exceeds ``max_nodes`` can never
+  run and is rejected with :class:`~repro.errors.AdmissionError`
+  (the *typed rejection*);
+* a job that merely does not fit *right now* (the tenant is at its
+  in-flight or node limit) is parked in the
+  ``JobStatus.QUEUED_ADMISSION`` state and admitted automatically, in
+  FIFO order, as earlier jobs of the same tenant finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import VALID_PRIORITIES
+from ..errors import ConfigurationError
+
+__all__ = ["TenantQuota", "priority_class", "VALID_PRIORITIES"]
+
+
+def priority_class(priority: str) -> int:
+    """Numeric rank of a named priority class (higher dispatches first)."""
+    try:
+        return VALID_PRIORITIES.index(priority)
+    except ValueError:
+        raise ConfigurationError(
+            f"priority must be one of {VALID_PRIORITIES}, got {priority!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits and fair-share weight of one tenant.
+
+    Attributes:
+        max_in_flight: maximum number of admitted, non-terminal jobs the
+            tenant may hold at once (``None`` = unlimited).  Submissions
+            beyond it enter the admission queue.
+        max_nodes: cap on the tenant's aggregate compute-node footprint
+            across admitted jobs, where a job's footprint is the larger
+            of its compression and decompression node requests.  A
+            single job exceeding the cap on its own is rejected with
+            :class:`~repro.errors.AdmissionError`.
+        weight: the tenant's share in weighted fair queueing (relative
+            to other tenants in the same priority class).  A tenant with
+            weight 2 receives twice the scheduling service of a tenant
+            with weight 1 under contention.
+    """
+
+    max_in_flight: Optional[int] = None
+    max_nodes: Optional[int] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1 (or None for unlimited)")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ConfigurationError("max_nodes must be >= 1 (or None for unlimited)")
+        if not self.weight > 0:
+            raise ConfigurationError("weight must be positive")

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, TYPE_CHECKING
 
 from ..compression import available_compressors
-from ..core.config import VALID_MODES, OcelotConfig
+from ..core.config import VALID_MODES, VALID_PRIORITIES, OcelotConfig
 from ..errors import OrchestrationError, UnknownCompressorError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,6 +33,11 @@ class TransferSpec:
         mode: transfer mode (``direct`` / ``compressed`` / ``grouped``);
             ``None`` uses the job configuration's default.
         label: free-form tag carried through job records and events.
+        tenant: tenant the job is scheduled under — the unit of weighted
+            fair queueing and admission quotas; ``None`` uses the job
+            configuration's default tenant.
+        priority: strict scheduler priority class (``low`` / ``normal``
+            / ``high``); ``None`` uses the configuration's default.
         config: a complete per-job :class:`OcelotConfig`; ``None`` uses
             the service's base configuration.
         overrides: per-job field overrides applied on top of the chosen
@@ -46,6 +51,8 @@ class TransferSpec:
     destination: str
     mode: Optional[str] = None
     label: str = ""
+    tenant: Optional[str] = None
+    priority: Optional[str] = None
     config: Optional[OcelotConfig] = None
     overrides: Dict[str, object] = field(default_factory=dict)
 
@@ -65,6 +72,14 @@ class TransferSpec:
         """The effective transfer mode (spec wins over configuration)."""
         return self.mode or config.mode
 
+    def resolved_tenant(self, config: OcelotConfig) -> str:
+        """The effective tenant (spec wins over configuration)."""
+        return self.tenant or config.tenant
+
+    def resolved_priority(self, config: OcelotConfig) -> str:
+        """The effective priority class (spec wins over configuration)."""
+        return self.priority or config.priority
+
     def validate(self, base: Optional[OcelotConfig], testbed: "Testbed") -> OcelotConfig:
         """Validate the request against the testbed; returns the job config.
 
@@ -83,6 +98,13 @@ class TransferSpec:
         if mode not in VALID_MODES:
             raise OrchestrationError(
                 f"unknown transfer mode {mode!r}; valid modes: {VALID_MODES}"
+            )
+        if not self.resolved_tenant(config):
+            raise OrchestrationError("tenant must be a non-empty string")
+        priority = self.resolved_priority(config)
+        if priority not in VALID_PRIORITIES:
+            raise OrchestrationError(
+                f"unknown priority {priority!r}; valid classes: {VALID_PRIORITIES}"
             )
         known = testbed.service.endpoints()
         for role, name in (("source", self.source), ("destination", self.destination)):
@@ -119,5 +141,7 @@ class TransferSpec:
             "destination": self.destination,
             "mode": self.mode,
             "label": self.label,
+            "tenant": self.tenant,
+            "priority": self.priority,
             "overrides": dict(self.overrides),
         }

@@ -1,0 +1,246 @@
+"""Durable job store: a JSONL write-ahead log with atomic snapshots.
+
+The CLI used to persist job records by rewriting one JSON file in place
+— a crash mid-write corrupted every recorded job.  :class:`JobStore`
+promotes that to a real write-ahead store:
+
+* every state change is *appended* as one JSON line and flushed to
+  disk, so the log is only ever extended — a crash can at worst leave a
+  torn final line, which :meth:`load` detects and ignores;
+* :meth:`replay` folds the log into the latest per-job state, in
+  submission order, which is what
+  :meth:`~repro.service.api.OcelotService.recover` consumes to resume
+  or re-queue jobs after a crash;
+* :meth:`compact` rewrites the folded state atomically (temp file +
+  ``os.replace`` in the same directory, exactly like
+  ``cache/store.py``) so long-lived services can bound log growth
+  without ever exposing a partially-written file.
+
+Record shapes (the ``kind`` field discriminates):
+
+* ``{"kind": "submitted", "job_id": ..., "submitted_at": ..., "spec":
+  {...}, "dataset_recipe": {...}|null}`` — appended before a job is
+  enqueued; ``dataset_recipe`` is the generator recipe that can rebuild
+  the dataset byte-identically (synthetic datasets carry one).
+* ``{"kind": "terminal", "job_id": ..., "status": ..., "finished_at":
+  ..., "report": {...}|null, "error": ...|null}`` — appended exactly
+  when the scheduler retires the job, which is what makes re-billing a
+  finished job impossible across a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+__all__ = ["JobStore", "atomic_write_text", "atomic_write_json"]
+
+_TERMINAL_STATUSES = ("completed", "failed", "cancelled")
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp + ``os.replace``).
+
+    The temp file lives in the destination directory so the rename never
+    crosses filesystems; a crash mid-write leaves the old file intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+class JobStore:
+    """Append-only JSONL job log with crash-tolerant reads."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def exists(self) -> bool:
+        """Whether the log file is present on disk."""
+        return os.path.exists(self.path)
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record as a JSON line and flush it to disk."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record_submitted(
+        self,
+        job_id: str,
+        submitted_at: float,
+        spec: Dict[str, Any],
+        dataset_recipe: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """WAL entry for a newly enqueued job."""
+        self.append(
+            {
+                "kind": "submitted",
+                "job_id": job_id,
+                "submitted_at": submitted_at,
+                "spec": spec,
+                "dataset_recipe": dataset_recipe,
+            }
+        )
+
+    def record_terminal(
+        self,
+        job_id: str,
+        status: str,
+        finished_at: Optional[float],
+        report: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """WAL entry for a job reaching a terminal state."""
+        self.append(
+            {
+                "kind": "terminal",
+                "job_id": job_id,
+                "status": status,
+                "finished_at": finished_at,
+                "report": report,
+                "error": error,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def load(self) -> List[Dict[str, Any]]:
+        """All intact records, in append order.
+
+        A torn or corrupt line (the signature of a crash mid-append) is
+        skipped rather than failing the whole log.
+        """
+        if not self.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and "kind" in record:
+                    records.append(record)
+        return records
+
+    def replay(self) -> Dict[str, Dict[str, Any]]:
+        """Fold the log into the latest state of each job.
+
+        Returns ``{job_id: state}`` in first-submission order, where each
+        state carries the submit-time facts (``spec``,
+        ``dataset_recipe``, ``submitted_at``) plus the latest ``status``
+        (``pending`` when no terminal record followed the submission)
+        and, for finished jobs, the terminal ``report`` / ``error``.
+        """
+        states: Dict[str, Dict[str, Any]] = {}
+        for record in self.load():
+            job_id = record.get("job_id")
+            if not job_id:
+                continue
+            kind = record.get("kind")
+            if kind == "submitted":
+                state = states.setdefault(job_id, {"job_id": job_id})
+                state.update(
+                    {
+                        "status": "pending",
+                        "submitted_at": record.get("submitted_at", 0.0),
+                        "spec": record.get("spec") or {},
+                        "dataset_recipe": record.get("dataset_recipe"),
+                    }
+                )
+                # A re-submission after recovery supersedes any stale
+                # terminal fields from a previous life.
+                state.pop("report", None)
+                state.pop("error", None)
+                state.pop("finished_at", None)
+            elif kind == "terminal":
+                state = states.setdefault(job_id, {"job_id": job_id})
+                state["status"] = record.get("status", "failed")
+                state["finished_at"] = record.get("finished_at")
+                if record.get("report") is not None:
+                    state["report"] = record["report"]
+                if record.get("error") is not None:
+                    state["error"] = record["error"]
+        return states
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def compact(self) -> int:
+        """Rewrite the log as one submitted(+terminal) pair per job.
+
+        Returns the number of jobs retained.  The rewrite is atomic
+        (temp + ``os.replace``), so a crash mid-compaction leaves the
+        full original log.
+        """
+        states = self.replay()
+        lines: List[str] = []
+        for state in states.values():
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "submitted",
+                        "job_id": state["job_id"],
+                        "submitted_at": state.get("submitted_at", 0.0),
+                        "spec": state.get("spec") or {},
+                        "dataset_recipe": state.get("dataset_recipe"),
+                    },
+                    sort_keys=True,
+                    default=str,
+                )
+            )
+            if state.get("status") in _TERMINAL_STATUSES:
+                lines.append(
+                    json.dumps(
+                        {
+                            "kind": "terminal",
+                            "job_id": state["job_id"],
+                            "status": state["status"],
+                            "finished_at": state.get("finished_at"),
+                            "report": state.get("report"),
+                            "error": state.get("error"),
+                        },
+                        sort_keys=True,
+                        default=str,
+                    )
+                )
+        atomic_write_text(self.path, "\n".join(lines) + ("\n" if lines else ""))
+        return len(states)
+
+    def clear(self) -> None:
+        """Delete the log file (no-op when absent)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass

@@ -1,26 +1,38 @@
 """Tests for the job-oriented service API.
 
-Covers the three contracts the redesign makes:
+Covers the contracts the redesign makes:
 
 * requests are validated at the submit boundary (before staging or any
   clock movement);
 * the scheduler multiplexes many concurrent jobs deterministically over
   one testbed, with interleaved makespans and node/link contention, and
   cancellation releases held resources;
+* tenants and priorities steer dispatch order (strict classes over WFQ)
+  without ever changing a job's report, and per-tenant quotas park or
+  reject over-limit submissions;
+* a service with a job store survives a crash: ``recover()`` finishes
+  the persisted batch without re-running (re-billing) finished jobs;
 * the legacy blocking wrappers (``Ocelot.transfer_dataset``) produce the
   same reports as driving the orchestrator directly.
 """
 
 from __future__ import annotations
 
+import json
 import math
 
 import pytest
 
 from repro.core import Ocelot, OcelotConfig, OcelotOrchestrator
 from repro.datasets import generate_application
-from repro.errors import ConfigurationError, OrchestrationError
-from repro.service import JobStatus, OcelotService, TransferSpec
+from repro.errors import AdmissionError, ConfigurationError, OrchestrationError
+from repro.service import (
+    JobStatus,
+    JobStore,
+    OcelotService,
+    TenantQuota,
+    TransferSpec,
+)
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
@@ -417,3 +429,277 @@ class TestLegacyWrapperEquivalence:
         assert report.timings.streaming_s > 0
         phases = [e.phase for e in handle.events() if e.kind == "phase_started"]
         assert "stream" in phases
+
+
+class TestTenantsAndPriorities:
+    def test_spec_wins_over_config_defaults(self, tiny_dataset):
+        service = OcelotService(_config(tenant="physics", priority="low"))
+        inherited = service.submit(_spec(tiny_dataset))
+        explicit = service.submit(
+            _spec(tiny_dataset, tenant="chemistry", priority="high")
+        )
+        assert inherited.tenant == "physics" and inherited.priority == "low"
+        assert explicit.tenant == "chemistry" and explicit.priority == "high"
+
+    def test_invalid_priority_rejected_at_submit(self, tiny_dataset):
+        service = OcelotService(_config())
+        with pytest.raises(OrchestrationError, match="unknown priority"):
+            service.submit(_spec(tiny_dataset, priority="urgent"))
+        with pytest.raises(ConfigurationError, match="priority"):
+            OcelotConfig(priority="urgent")
+        with pytest.raises(ConfigurationError, match="tenant"):
+            OcelotConfig(tenant="")
+
+    def test_high_priority_dispatches_first(self, tiny_dataset):
+        """A later-submitted high job takes the WAN link before normal ones."""
+        service = OcelotService(_config())
+        normal = service.submit(_spec(tiny_dataset, tenant="a", priority="normal"))
+        high = service.submit(_spec(tiny_dataset, tenant="b", priority="high"))
+        service.run_pending()
+        normal_transfer = next(
+            s for s in normal.timeline() if s.name == "transfer"
+        )
+        high_transfer = next(s for s in high.timeline() if s.name == "transfer")
+        assert high_transfer.start_s < normal_transfer.start_s
+        assert high.finished_at <= normal.finished_at
+
+    def test_mixed_tenant_batch_reports_match_solo(self, tiny_dataset):
+        """The acceptance bar: WFQ ordering never changes a job's report."""
+        solo = OcelotService(_config()).submit(_spec(tiny_dataset)).result()
+        service = OcelotService(_config())
+        mixes = [
+            ("astro", "low"), ("climate", "high"), ("astro", "normal"),
+            ("fusion", "normal"), ("climate", "low"), ("fusion", "high"),
+            ("astro", "high"), ("climate", "normal"),
+        ]
+        handles = [
+            service.submit(_spec(tiny_dataset, tenant=tenant, priority=priority))
+            for tenant, priority in mixes
+        ]
+        service.run_pending()
+        for handle in handles:
+            assert handle.status is JobStatus.COMPLETED
+            assert _dicts_close(handle.result().as_dict(), solo.as_dict())
+
+    def test_wfq_interleaves_flooding_tenant(self, tiny_dataset):
+        """Six queued jobs of one tenant cannot starve another tenant.
+
+        With fair queueing the singleton tenant's transfer goes out well
+        before the flooder's last one, even though it was submitted last.
+        """
+        service = OcelotService(_config())
+        flood = [
+            service.submit(_spec(tiny_dataset, tenant="flooder"))
+            for _ in range(6)
+        ]
+        single = service.submit(_spec(tiny_dataset, tenant="single"))
+        service.run_pending()
+        flood_finishes = sorted(h.finished_at for h in flood)
+        assert single.finished_at < flood_finishes[-1]
+
+
+class TestAdmissionControl:
+    def test_oversized_request_rejected_with_typed_error(self, tiny_dataset):
+        service = OcelotService(
+            _config(), quotas={"acme": TenantQuota(max_nodes=1)}
+        )
+        with pytest.raises(AdmissionError, match="limited to 1 compute node"):
+            service.submit(_spec(tiny_dataset, tenant="acme"))
+        # Nothing was enqueued or staged.
+        assert service.jobs() == []
+        assert service.testbed.endpoint("anvil").filesystem.file_count() == 0
+
+    def test_quota_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(max_in_flight=0)
+        with pytest.raises(ConfigurationError):
+            TenantQuota(weight=0.0)
+
+    def test_over_quota_job_queues_then_runs(self, tiny_dataset):
+        service = OcelotService(
+            _config(), quotas={"acme": TenantQuota(max_in_flight=1)}
+        )
+        first = service.submit(_spec(tiny_dataset, tenant="acme"))
+        second = service.submit(_spec(tiny_dataset, tenant="acme"))
+        other = service.submit(_spec(tiny_dataset, tenant="other"))
+        assert first.status is JobStatus.PENDING
+        assert second.status is JobStatus.QUEUED_ADMISSION
+        assert other.status is JobStatus.PENDING  # other tenants unaffected
+        assert [e.kind for e in second.events()] == [
+            "submitted", "queued_admission",
+        ]
+        service.run_pending()
+        assert second.status is JobStatus.COMPLETED
+        admitted = next(e for e in second.events() if e.kind == "admitted")
+        # Admission happened when the first job retired, not at submit.
+        assert admitted.detail["queued_s"] > 0
+        assert second.wait_s > 0
+        assert second.started_at >= first.finished_at - 1e-9
+
+    def test_admission_is_fifo_within_tenant(self, tiny_dataset):
+        service = OcelotService(
+            _config(), quotas={"acme": TenantQuota(max_in_flight=1)}
+        )
+        handles = [
+            service.submit(_spec(tiny_dataset, tenant="acme")) for _ in range(4)
+        ]
+        service.run_pending()
+        finishes = [h.finished_at for h in handles]
+        assert finishes == sorted(finishes)
+
+    def test_cancel_while_queued_for_admission(self, tiny_dataset):
+        service = OcelotService(
+            _config(), quotas={"acme": TenantQuota(max_in_flight=1)}
+        )
+        first = service.submit(_spec(tiny_dataset, tenant="acme"))
+        second = service.submit(_spec(tiny_dataset, tenant="acme"))
+        third = service.submit(_spec(tiny_dataset, tenant="acme"))
+        assert second.cancel() is True
+        service.run_pending()
+        assert first.status is JobStatus.COMPLETED
+        assert second.status is JobStatus.CANCELLED
+        # The cancelled job's admission slot went to the next in line.
+        assert third.status is JobStatus.COMPLETED
+
+    def test_node_share_quota_limits_parallelism(self, tiny_dataset):
+        """max_nodes admits jobs only while the tenant's footprint fits."""
+        service = OcelotService(
+            _config(), quotas={"acme": TenantQuota(max_nodes=4)}
+        )
+        # Each job needs max(compression_nodes, decompression_nodes) = 2.
+        handles = [
+            service.submit(_spec(tiny_dataset, tenant="acme")) for _ in range(3)
+        ]
+        assert [h.status for h in handles] == [
+            JobStatus.PENDING, JobStatus.PENDING, JobStatus.QUEUED_ADMISSION,
+        ]
+        service.run_pending()
+        assert all(h.status is JobStatus.COMPLETED for h in handles)
+
+
+class TestRecovery:
+    def _store_path(self, tmp_path):
+        return str(tmp_path / "jobs.wal")
+
+    def test_recover_finishes_persisted_batch(self, tiny_dataset, tmp_path):
+        path = self._store_path(tmp_path)
+        crashed = OcelotService(_config(), store=path)
+        crashed.submit(_spec(tiny_dataset, tenant="acme", priority="high"))
+        second = crashed.submit(_spec(tiny_dataset, tenant="acme"))
+        crashed.submit(_spec(tiny_dataset, tenant="other"))
+        # Strict priority runs the high job first; wait for it to land,
+        # then "crash" (abandon the service) with the other two mid-queue.
+        urgent = crashed.job("job-0001")
+        urgent.wait()
+        assert urgent.status is JobStatus.COMPLETED
+        assert not second.status.is_terminal
+
+        service = OcelotService(_config(), store=path)
+        result = service.recover()
+        # The finished job keeps its persisted record and is not re-queued.
+        assert [state["job_id"] for state in result.finished] == ["job-0001"]
+        assert result.finished[0]["status"] == "completed"
+        assert result.finished[0]["report"]["compression_ratio"] > 1.0
+        assert result.unrecoverable == []
+        resumed_ids = sorted(h.job_id for h in result.resumed)
+        assert resumed_ids == ["job-0002", "job-0003"]
+        # Tenant and priority survive the round trip.
+        resumed = {h.job_id: h for h in result.resumed}
+        assert resumed["job-0002"].tenant == "acme"
+        assert resumed["job-0002"].priority == "normal"
+        assert resumed["job-0003"].tenant == "other"
+        service.run_pending()
+        assert all(h.status is JobStatus.COMPLETED for h in result.resumed)
+        # The rebuilt dataset is byte-identical, so so are the reports.
+        solo = OcelotService(_config()).submit(_spec(tiny_dataset)).result()
+        assert _dicts_close(
+            resumed["job-0003"].result().as_dict(), solo.as_dict()
+        )
+
+    def test_no_duplicated_billing_across_crash(self, tiny_dataset, tmp_path):
+        path = self._store_path(tmp_path)
+        crashed = OcelotService(_config(), store=path)
+        first = crashed.submit(_spec(tiny_dataset))
+        crashed.submit(_spec(tiny_dataset))
+        first.wait()
+
+        service = OcelotService(_config(), store=path)
+        service.recover()
+        service.run_pending()
+        terminal_counts = {}
+        for record in JobStore(path).load():
+            if record["kind"] == "terminal":
+                terminal_counts[record["job_id"]] = (
+                    terminal_counts.get(record["job_id"], 0) + 1
+                )
+        # Exactly one terminal (billing) record per job, ever.
+        assert terminal_counts == {"job-0001": 1, "job-0002": 1}
+        # The pre-crash job never re-entered the new service's queue.
+        assert sorted(h.job_id for h in service.jobs()) == ["job-0002"]
+
+    def test_recovered_service_continues_job_numbering(self, tiny_dataset, tmp_path):
+        path = self._store_path(tmp_path)
+        crashed = OcelotService(_config(), store=path)
+        crashed.submit(_spec(tiny_dataset))
+        crashed.submit(_spec(tiny_dataset))
+
+        service = OcelotService(_config(), store=path)
+        service.recover()
+        fresh = service.submit(_spec(tiny_dataset))
+        assert fresh.job_id == "job-0003"
+
+    def test_unrecoverable_without_recipe(self, tiny_dataset, tmp_path):
+        from repro.datasets.base import ScientificDataset
+
+        path = self._store_path(tmp_path)
+        adhoc = ScientificDataset("adhoc", fields=tiny_dataset.fields)
+        assert adhoc.recipe is None
+        crashed = OcelotService(_config(), store=path)
+        crashed.submit(_spec(adhoc))
+
+        service = OcelotService(_config(), store=path)
+        result = service.recover()
+        assert result.resumed == [] and result.finished == []
+        assert [state["job_id"] for state in result.unrecoverable] == ["job-0001"]
+
+        # A dataset_resolver can still resurrect it (and wins over recipes).
+        service = OcelotService(_config(), store=path)
+        result = service.recover(dataset_resolver=lambda state: tiny_dataset)
+        assert [h.job_id for h in result.resumed] == ["job-0001"]
+        service.run_pending()
+        assert result.resumed[0].status is JobStatus.COMPLETED
+
+    def test_recover_requires_store_and_idle_queue(self, tiny_dataset, tmp_path):
+        with pytest.raises(OrchestrationError, match="job store"):
+            OcelotService(_config()).recover()
+        path = self._store_path(tmp_path)
+        service = OcelotService(_config(), store=path)
+        service.submit(_spec(tiny_dataset))
+        with pytest.raises(OrchestrationError, match="in flight"):
+            service.recover()
+
+    def test_wal_survives_torn_tail(self, tiny_dataset, tmp_path):
+        path = self._store_path(tmp_path)
+        crashed = OcelotService(_config(), store=path)
+        crashed.submit(_spec(tiny_dataset))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "terminal", "job_id": "job-0001", "stat')
+        service = OcelotService(_config(), store=path)
+        result = service.recover()
+        # The torn terminal record is ignored: the job is still pending.
+        assert [h.job_id for h in result.resumed] == ["job-0001"]
+        service.run_pending()
+        assert result.resumed[0].status is JobStatus.COMPLETED
+
+    def test_submitted_record_carries_resolved_identity(self, tiny_dataset, tmp_path):
+        path = self._store_path(tmp_path)
+        service = OcelotService(
+            _config(tenant="physics"), store=path
+        )
+        service.submit(_spec(tiny_dataset, priority="high"))
+        record = JobStore(path).load()[0]
+        assert record["kind"] == "submitted"
+        assert record["spec"]["tenant"] == "physics"
+        assert record["spec"]["priority"] == "high"
+        assert record["dataset_recipe"] == tiny_dataset.recipe
+        assert json.dumps(record)  # JSON-serialisable end to end
