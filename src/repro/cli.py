@@ -67,10 +67,16 @@ def _add_block_arguments(sub: argparse.ArgumentParser) -> None:
                      help="trained BlockPolicy JSON; replaces brute-force "
                           "adaptive selection with the learned policy "
                           "(requires --adaptive-predictor)")
+    sub.add_argument("--entropy", default=None, choices=["huffman", "rans", "none"],
+                     help="entropy codec override for pipeline compressors: "
+                          "Huffman, interleaved rANS, or bypass; default keeps "
+                          "each compressor's registered stage.  In adaptive "
+                          "per-block-codebook mode the codec is additionally "
+                          "chosen per block and recorded in each section")
     sub.add_argument("--codebook", default="shared", choices=["shared", "per-block"],
-                     help="entropy codebook layout in blocked Huffman mode: "
-                          "one shared codebook per file stored once in the "
-                          "blob header (default), or one per block")
+                     help="entropy model layout in blocked entropy-coded mode: "
+                          "one shared codebook/frequency-table per file stored "
+                          "once in the blob header (default), or one per block")
 
 
 def _add_cache_arguments(sub: argparse.ArgumentParser) -> None:
@@ -331,6 +337,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         ).map_blocks,
         block_policy=policy,
         shared_codebook=args.codebook == "shared",
+        entropy_stage=args.entropy,
     )
     if args.stage_timings:
         if not hasattr(compressor, "collect_stage_timings"):
@@ -380,6 +387,7 @@ def _cmd_transfer(args: argparse.Namespace) -> int:
         block_workers=args.block_workers,
         worker_backend=args.worker_backend,
         adaptive_predictor=args.adaptive_predictor,
+        entropy_stage=args.entropy,
         shared_codebook=args.codebook == "shared",
         transfer_mode=args.transfer_mode,
         stream_window=args.stream_window,
@@ -411,15 +419,16 @@ def _codebook_summary(blob) -> dict:
 
     A shared codebook's size is read straight off the blob header.  In
     per-block mode each block's inner container is decompressed (inspect
-    is a debugging aid, so the cost is acceptable) and the
-    ``codes_codebook`` section sizes are summed.
+    is a debugging aid, so the cost is acceptable) and the block-local
+    entropy-model sections — ``codes_codebook`` (Huffman) or
+    ``codes_freqs`` (rANS) — are summed.
     """
     from .compression.encoders.lossless import get_lossless_backend
     from .compression.interface import SectionContainer
     from .errors import CompressionError, ConfigurationError, EncodingError
 
     def per_block_books(entries) -> tuple:
-        """(total bytes, count) of block-local ``codes_codebook`` sections."""
+        """(total bytes, count) of block-local entropy-model sections."""
         backend_name = blob.container.header.get("lossless_backend", "")
         try:
             backend = get_lossless_backend(backend_name)
@@ -433,10 +442,15 @@ def _codebook_summary(blob) -> dict:
                     backend.decompress(blob.container.get_section(entry["section"])),
                     lazy=True,
                 )
-                total += inner.section_size("codes_codebook")
-                blocks_with_books += 1
             except (EncodingError, CompressionError):
                 continue
+            for section in ("codes_codebook", "codes_freqs"):
+                try:
+                    total += inner.section_size(section)
+                except EncodingError:
+                    continue
+                blocks_with_books += 1
+                break
         return total, blocks_with_books
 
     mode = blob.codebook_mode
@@ -474,12 +488,25 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "origin": entry["origin"],
                 "shape": entry["shape"],
                 "predictor": entry.get("predictor", ""),
+                "entropy": entry.get("entropy", ""),
                 "codebook": entry.get("codebook", ""),
                 "section": entry["section"],
                 "section_bytes": blob.container.section_size(entry["section"]),
                 "alias_of": entry.get("alias_of"),
             }
         )
+    # Per-block codec split: prefer the counts the compressor stamped
+    # into the metadata; older blobs (or assembled streamed ones) fall
+    # back to counting the index entries' entropy tags.
+    block_codecs = blob.metadata.get("block_codecs")
+    if not block_codecs and entries:
+        block_codecs = {}
+        for entry in entries:
+            codec = entry["entropy"] or "none"
+            block_codecs[codec] = block_codecs.get(codec, 0) + 1
+    entropy_stage = blob.metadata.get(
+        "entropy_stage", blob.container.header.get("entropy_stage", "")
+    )
     payload = {
         "path": args.blob,
         "format_version": blob.format_version,
@@ -491,6 +518,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         "num_blocks": blob.num_blocks,
         "aliased_blocks": blob.aliased_block_count,
         "is_blocked": blob.is_blocked,
+        "entropy_stage": entropy_stage,
+        "block_codecs": block_codecs or {},
         "codebook": _codebook_summary(blob),
         "blocks": entries,
     }
@@ -516,11 +545,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     if stage_timings:
         print("  encode stages: " + _format_stage_timings(stage_timings))
     if not blob.is_blocked:
+        if entropy_stage:
+            print(f"  entropy: {entropy_stage}")
         print("  layout: whole-array (single payload section)")
         return 0
     aliased = payload["aliased_blocks"]
     dedup = f", {aliased} deduped as aliases" if aliased else ""
     print(f"  layout: blocked ({payload['num_blocks']} independent blocks{dedup})")
+    if entropy_stage or block_codecs:
+        split = ", ".join(
+            f"{codec}: {block_codecs[codec]}" for codec in sorted(block_codecs or {})
+        )
+        print(f"  entropy: {entropy_stage or 'unknown'}"
+              + (f" (blocks by codec: {split})" if split else ""))
     codebook = payload["codebook"]
     if codebook["mode"] == "shared":
         print(f"  codebook: shared (stored once in header, "
@@ -531,7 +568,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     else:
         print("  codebook: none (no entropy stage)")
     print(f"  {'id':>4s} {'origin':>16s} {'shape':>14s} {'predictor':>14s}"
-          f" {'codebook':>9s} {'bytes':>10s}")
+          f" {'entropy':>8s} {'codebook':>9s} {'bytes':>10s}")
     for entry in entries:
         size = (
             f"={entry['alias_of']:>9d}"
@@ -541,7 +578,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(
             f"  {entry['id']:>4d} {str(tuple(entry['origin'])):>16s}"
             f" {str(tuple(entry['shape'])):>14s} {entry['predictor']:>14s}"
-            f" {entry['codebook']:>9s} {size}"
+            f" {entry['entropy']:>8s} {entry['codebook']:>9s} {size}"
         )
     return 0
 
@@ -568,12 +605,17 @@ def _cmd_train_policy(args: argparse.Namespace) -> int:
         "agreement": round(summary["agreement"], 3),
         "training_time_s": round(summary["training_time_s"], 3),
     }
+    if "entropy_agreement" in summary:
+        payload["entropy_agreement"] = round(summary["entropy_agreement"], 3)
     if args.json:
         json.dump(payload, sys.stdout, indent=2)
         print()
     else:
         print(f"trained block policy on {payload['samples']} blocks "
               f"({payload['agreement']:.0%} agreement with brute force)")
+        if "entropy_agreement" in payload:
+            print(f"  entropy codec choice: "
+                  f"{payload['entropy_agreement']:.0%} agreement")
         print(f"  written to {args.output}")
     return 0
 

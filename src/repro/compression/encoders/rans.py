@@ -1,0 +1,494 @@
+"""Interleaved static rANS entropy coding for integer symbol streams.
+
+The pipeline's third entropy stage (``entropy_stage="rans"``).  Where the
+Huffman coder spends whole bits per symbol, rANS (range Asymmetric
+Numeral Systems) packs symbols at fractional-bit cost against a
+quantised probability model, and its frequency table serialises far
+smaller than a Huffman codebook — 6 bytes per symbol versus 16 — which
+also makes it a drop-in participant in the shared per-file codebook
+pooling scheme.
+
+Design (all of it NumPy-vectorised; there is no per-symbol Python loop):
+
+* **Probability model.**  Raw symbol counts are quantised to integer
+  frequencies summing to exactly ``PROB_SCALE = 2**12`` (largest-
+  remainder apportionment, every present symbol keeps frequency >= 1).
+  Alphabets larger than 4096 distinct symbols cannot be represented —
+  the pipeline falls back to another codec for such blocks.
+* **State.**  One 32-bit state per lane, renormalised in 16-bit words:
+  states live in ``[2**16, 2**32)`` and each symbol step emits at most
+  one word, so the encode/decode loops never iterate their
+  renormalisation step.
+* **N-way interleaving.**  A ``count``-symbol stream is viewed as a
+  ``(rounds, N)`` matrix (symbol ``i`` belongs to lane ``i % N``); each
+  round encodes/decodes one symbol on every lane with a handful of
+  NumPy gathers and arithmetic ops.  ``N`` is the largest power of two
+  ``<= MAX_LANES`` that still leaves every lane a useful run of symbols,
+  so wide streams get wide SIMD-style rounds while small blocks keep
+  their per-block state overhead at a few hundred bytes.
+* **Word stream.**  All lanes share one word stream.  The encoder walks
+  rounds in reverse, appending the words of renormalising lanes in
+  descending lane order, and reverses the stream once at the end; the
+  decoder walks rounds forward consuming words in ascending lane order.
+  Because a decoder renormalises exactly when the encoder emitted, no
+  per-lane word counts are needed — only the ``N`` final states.
+
+Payload layout (little-endian)::
+
+    u8 version | u8 log2(lanes) | u16 reserved | u32 n_words | u64 count
+    u32 state[lanes]
+    u16 word[n_words]
+
+Frequency-table layout (little-endian)::
+
+    u8 version | u8 flags | u16 n_symbols-1 | i64 lo
+    u32 offset[n_symbols]   (symbol - lo, strictly increasing)
+    u16 freq[n_symbols]     (quantised, sums to PROB_SCALE)
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...errors import EncodingError
+
+__all__ = [
+    "RansFrequencyTable",
+    "RansCodec",
+    "quantize_frequencies",
+    "PROB_BITS",
+    "PROB_SCALE",
+    "MAX_TABLE_SYMBOLS",
+]
+
+#: Probability resolution: frequencies are quantised to sum to ``2**12``.
+PROB_BITS = 12
+PROB_SCALE = 1 << PROB_BITS
+
+#: Lower bound of the normalised state interval (16-bit renormalisation).
+RANS_L = 1 << 16
+
+#: Largest alphabet a 12-bit table can represent (every symbol needs
+#: frequency >= 1).
+MAX_TABLE_SYMBOLS = PROB_SCALE
+
+#: Interleaving width bounds.  ``MAX_LANES`` caps the per-stream state
+#: overhead (4 bytes/lane, so 16 KiB at full width — reached only by
+#: streams of >= 256Ki symbols, where it is ~2% of the raw bytes);
+#: ``_MIN_LANE_SYMBOLS`` keeps lanes long enough that the fixed per-round
+#: NumPy dispatch cost is amortised.  4096 lanes roughly halves the
+#: number of Python-level rounds' share of a 1M-symbol decode versus
+#: 1024; wider still is past the point of diminishing returns.
+MAX_LANES = 4096
+_MIN_LANE_SYMBOLS = 32
+
+#: Encode-side symbol lookups use dense gather tables when the alphabet
+#: span fits; beyond this they fall back to ``searchsorted``.
+_DENSE_SPAN_LIMIT = 1 << 22
+
+#: ``x >= (freq << _RENORM_SHIFT)`` is the encoder's emit condition.
+_RENORM_SHIFT = 32 - PROB_BITS  # 20
+
+_PAYLOAD_VERSION = 1
+_PAYLOAD_HEADER = struct.Struct("<BBHIQ")
+_TABLE_VERSION = 1
+_TABLE_HEADER = struct.Struct("<BBHq")
+
+
+def quantize_frequencies(counts: np.ndarray) -> np.ndarray:
+    """Quantise raw counts to integer frequencies summing to ``PROB_SCALE``.
+
+    Largest-remainder apportionment over a budget of ``PROB_SCALE - n``
+    (each of the ``n`` symbols is then topped up by 1), so every present
+    symbol keeps a frequency of at least 1 no matter how skewed the
+    input is.  Fully deterministic: ties break on larger raw count, then
+    lower index.
+    """
+    arr = np.asarray(counts, dtype=np.int64).ravel()
+    n = int(arr.size)
+    if n == 0:
+        raise EncodingError("cannot quantise an empty frequency set")
+    if n > MAX_TABLE_SYMBOLS:
+        raise EncodingError(
+            f"alphabet of {n} symbols exceeds the {MAX_TABLE_SYMBOLS}-entry rANS table"
+        )
+    if np.any(arr <= 0):
+        raise EncodingError("symbol counts must be positive")
+    total = int(arr.sum())
+    budget = PROB_SCALE - n
+    scaled = arr * budget
+    quant = scaled // total + 1  # the +1 is each symbol's guaranteed slot
+    deficit = PROB_SCALE - int(quant.sum())
+    if deficit:
+        remainder = scaled % total
+        order = np.lexsort((np.arange(n), -arr, -remainder))
+        bump = np.zeros(n, dtype=np.int64)
+        np.add.at(bump, order[np.arange(deficit) % n], 1)
+        quant += bump
+    return quant.astype(np.uint16)
+
+
+def _pick_lanes(count: int) -> int:
+    """Widest power-of-two interleave that keeps lanes usefully long."""
+    lanes = 1
+    while lanes < MAX_LANES and (count >> 1) // lanes >= _MIN_LANE_SYMBOLS:
+        lanes <<= 1
+    return lanes
+
+
+class RansFrequencyTable:
+    """Quantised symbol frequencies plus derived encode/decode tables."""
+
+    __slots__ = (
+        "symbols",
+        "freqs",
+        "cum",
+        "_encode_tables",
+        "_slot_tables",
+        "_serialized",
+    )
+
+    def __init__(self, symbols: np.ndarray, freqs: np.ndarray) -> None:
+        self.symbols = np.asarray(symbols, dtype=np.int64)
+        self.freqs = np.asarray(freqs, dtype=np.uint32)
+        if self.symbols.size != self.freqs.size or self.symbols.size == 0:
+            raise EncodingError("rANS table needs matching, non-empty symbol/freq arrays")
+        if int(self.freqs.sum()) != PROB_SCALE:
+            raise EncodingError("rANS table frequencies must sum to PROB_SCALE")
+        cum = np.zeros(self.symbols.size, dtype=np.uint32)
+        np.cumsum(self.freqs[:-1], out=cum[1:])
+        self.cum = cum
+        self._encode_tables: Optional[Tuple] = None
+        self._slot_tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._serialized: Optional[bytes] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def try_from_frequencies(
+        cls, frequencies: Dict[int, int]
+    ) -> Optional["RansFrequencyTable"]:
+        """Build a table, or ``None`` when the alphabet cannot fit one.
+
+        The two unrepresentable cases are alphabets above
+        :data:`MAX_TABLE_SYMBOLS` entries and symbol spans wider than the
+        32-bit offsets of the serialised layout.
+        """
+        if not frequencies or len(frequencies) > MAX_TABLE_SYMBOLS:
+            return None
+        symbols = np.array(sorted(frequencies), dtype=np.int64)
+        if int(symbols[-1]) - int(symbols[0]) >= 1 << 32:
+            return None
+        counts = np.array([frequencies[int(s)] for s in symbols], dtype=np.int64)
+        return cls(symbols, quantize_frequencies(counts))
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Dict[int, int]) -> "RansFrequencyTable":
+        table = cls.try_from_frequencies(frequencies)
+        if table is None:
+            raise EncodingError(
+                f"alphabet of {len(frequencies)} symbols does not fit a rANS table"
+            )
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def serialize(self) -> bytes:
+        if self._serialized is None:
+            lo = int(self.symbols[0])
+            offsets = (self.symbols - lo).astype("<u4")
+            header = _TABLE_HEADER.pack(_TABLE_VERSION, 0, self.symbols.size - 1, lo)
+            self._serialized = (
+                header + offsets.tobytes() + self.freqs.astype("<u2").tobytes()
+            )
+        return self._serialized
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "RansFrequencyTable":
+        if len(data) < _TABLE_HEADER.size:
+            raise EncodingError("truncated rANS frequency table")
+        version, _flags, n_minus_1, lo = _TABLE_HEADER.unpack_from(data)
+        if version != _TABLE_VERSION:
+            raise EncodingError(f"unsupported rANS table version {version}")
+        n = n_minus_1 + 1
+        need = _TABLE_HEADER.size + 4 * n + 2 * n
+        if len(data) < need:
+            raise EncodingError("truncated rANS frequency table")
+        offsets = np.frombuffer(data, dtype="<u4", count=n, offset=_TABLE_HEADER.size)
+        freqs = np.frombuffer(data, dtype="<u2", count=n, offset=_TABLE_HEADER.size + 4 * n)
+        return cls(offsets.astype(np.int64) + lo, freqs.astype(np.uint32))
+
+    def serialized_nbytes(self) -> int:
+        return _TABLE_HEADER.size + 6 * int(self.symbols.size)
+
+    # ------------------------------------------------------------------ #
+    # Derived lookup tables
+    # ------------------------------------------------------------------ #
+    def _encode_lookup(self) -> Tuple:
+        if self._encode_tables is None:
+            lo = int(self.symbols[0])
+            span = int(self.symbols[-1]) - lo + 1
+            if span <= _DENSE_SPAN_LIMIT:
+                f_of = np.zeros(span, dtype=np.uint32)
+                c_of = np.zeros(span, dtype=np.uint32)
+                idx = self.symbols - lo
+                f_of[idx] = self.freqs
+                c_of[idx] = self.cum
+                self._encode_tables = ("dense", lo, span, f_of, c_of)
+            else:
+                self._encode_tables = ("sparse",)
+        return self._encode_tables
+
+    def gather_freq_cum(
+        self, arr: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Per-symbol ``(freq, cum)`` arrays, or ``None`` on any escape."""
+        tables = self._encode_lookup()
+        if tables[0] == "dense":
+            _, lo, span, f_of, c_of = tables
+            off = arr - lo
+            if off.size and (int(off.min()) < 0 or int(off.max()) >= span):
+                return None
+            f = f_of[off]
+            if not f.all():
+                return None
+            return f, c_of[off]
+        pos = np.searchsorted(self.symbols, arr)
+        pos[pos >= self.symbols.size] = 0
+        if not np.array_equal(self.symbols[pos], arr):
+            return None
+        return self.freqs[pos], self.cum[pos]
+
+    def slot_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode gather tables indexed by ``state & (PROB_SCALE - 1)``.
+
+        Returns ``(slot_sym, slot_freq, slot_rel)`` where ``slot_rel`` is
+        ``slot - cum[symbol(slot)]`` so the decode step is a single
+        gather + add.
+        """
+        if self._slot_tables is None:
+            idx = np.repeat(
+                np.arange(self.symbols.size, dtype=np.int64), self.freqs.astype(np.int64)
+            )
+            slots = np.arange(PROB_SCALE, dtype=np.uint32)
+            self._slot_tables = (
+                self.symbols[idx],
+                self.freqs[idx],
+                slots - self.cum[idx],
+            )
+        return self._slot_tables
+
+    def modal_freq_cum(self) -> Tuple[int, int]:
+        """``(freq, cum)`` of the most probable symbol (used for padding)."""
+        best = int(np.argmax(self.freqs))
+        return int(self.freqs[best]), int(self.cum[best])
+
+    def estimate_payload_bits(self, frequencies: Dict[int, int]) -> Optional[int]:
+        """Information content of a stream with the given counts.
+
+        ``None`` when a stream symbol is absent from this table.
+        """
+        bits = 0.0
+        log_scale = np.log2(float(PROB_SCALE))
+        lookup = {int(s): int(f) for s, f in zip(self.symbols, self.freqs)}
+        for sym, count in frequencies.items():
+            f = lookup.get(int(sym))
+            if f is None:
+                return None
+            bits += count * (log_scale - np.log2(float(f)))
+        return int(np.ceil(bits))
+
+
+class RansCodec:
+    """Encode/decode integer symbol arrays with interleaved static rANS."""
+
+    #: Decode tables are cached per serialised table so shared-table
+    #: blobs expand their slot gathers once per file, not once per block.
+    _TABLE_CACHE_SIZE = 8
+
+    def __init__(self) -> None:
+        self._tables: Dict[bytes, RansFrequencyTable] = {}
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, symbols: np.ndarray) -> Tuple[bytes, bytes, int]:
+        """Encode ``symbols`` with a stream-specific frequency table.
+
+        Returns ``(payload, table_bytes, count)``; decoding requires all
+        three.  Raises :class:`EncodingError` when the alphabet does not
+        fit a 12-bit table — callers that can fall back to another codec
+        should probe with :meth:`RansFrequencyTable.try_from_frequencies`.
+        """
+        arr = np.asarray(symbols, dtype=np.int64).ravel()
+        count = int(arr.size)
+        if count == 0:
+            return b"", b"", 0
+        table = RansFrequencyTable.from_frequencies(_stream_frequencies(arr))
+        payload = self.encode_with_table(arr, table)
+        if payload is None:  # pragma: no cover - table covers arr by construction
+            raise EncodingError("freshly built rANS table failed to cover its input")
+        return payload, table.serialize(), count
+
+    def encode_with_table(
+        self, symbols: np.ndarray, table: RansFrequencyTable
+    ) -> Optional[bytes]:
+        """Encode against an existing (e.g. shared) frequency table.
+
+        Returns ``None`` when any symbol is absent from ``table`` — the
+        shared-codebook pipeline then falls back to a per-block table.
+        """
+        arr = np.asarray(symbols, dtype=np.int64).ravel()
+        count = int(arr.size)
+        if count == 0:
+            return b""
+        gathered = table.gather_freq_cum(arr)
+        if gathered is None:
+            return None
+        f, c = gathered
+        lanes = _pick_lanes(count)
+        rounds = -(-count // lanes)
+        pad = rounds * lanes - count
+        if pad:
+            mf, mc = table.modal_freq_cum()
+            f = np.concatenate([f, np.full(pad, mf, dtype=np.uint32)])
+            c = np.concatenate([c, np.full(pad, mc, dtype=np.uint32)])
+        f_mat = np.ascontiguousarray(f.reshape(rounds, lanes))
+        c_mat = np.ascontiguousarray(c.reshape(rounds, lanes))
+        t_mat = np.uint32(PROB_SCALE) - f_mat
+
+        shift_renorm = np.uint32(_RENORM_SHIFT)
+        shift_word = np.uint32(16)
+        word_mask = np.uint32(0xFFFF)
+        x = np.full(lanes, RANS_L, dtype=np.uint32)
+        # Each symbol emits at most one word, so `count + pad` bounds the
+        # stream; the encoder walks rounds in reverse, storing words of
+        # renormalising lanes in descending lane order, and un-reverses
+        # the whole stream once at the end.
+        out = np.empty(rounds * lanes, dtype=np.uint16)
+        wp = 0
+        for r in range(rounds - 1, -1, -1):
+            fr = f_mat[r]
+            need = (x >> shift_renorm) >= fr
+            k = int(np.count_nonzero(need))
+            if k:
+                out[wp : wp + k] = (x[need] & word_mask)[::-1]
+                wp += k
+                x = np.where(need, x >> shift_word, x)
+            q = x // fr
+            # == ((q << PROB_BITS) + (x - q*f) + cum); fused form stays in
+            # uint32 without intermediate overflow.
+            x = x + q * t_mat[r] + c_mat[r]
+        header = _PAYLOAD_HEADER.pack(
+            _PAYLOAD_VERSION, lanes.bit_length() - 1, 0, wp, count
+        )
+        return header + x.astype("<u4").tobytes() + out[:wp][::-1].astype("<u2").tobytes()
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode(self, payload: bytes, table_bytes: bytes, count: int) -> np.ndarray:
+        """Decode ``count`` symbols from ``payload`` using the table."""
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        with self._cache_lock:
+            table = self._tables.get(table_bytes)
+        if table is None:
+            table = RansFrequencyTable.deserialize(table_bytes)
+            with self._cache_lock:
+                while len(self._tables) >= self._TABLE_CACHE_SIZE:
+                    self._tables.pop(next(iter(self._tables)))
+                self._tables[table_bytes] = table
+        return self._decode_with_table(payload, table, count)
+
+    @staticmethod
+    def _decode_with_table(
+        payload: bytes, table: RansFrequencyTable, count: int
+    ) -> np.ndarray:
+        if len(payload) < _PAYLOAD_HEADER.size:
+            raise EncodingError("truncated rANS payload")
+        version, log2_lanes, _reserved, n_words, stored = _PAYLOAD_HEADER.unpack_from(
+            payload
+        )
+        if version != _PAYLOAD_VERSION:
+            raise EncodingError(f"unsupported rANS payload version {version}")
+        if stored != count:
+            raise EncodingError(
+                f"rANS payload holds {stored} symbols but {count} were requested"
+            )
+        lanes = 1 << log2_lanes
+        need_bytes = _PAYLOAD_HEADER.size + 4 * lanes + 2 * n_words
+        if len(payload) < need_bytes:
+            raise EncodingError("truncated rANS payload")
+        x = (
+            np.frombuffer(payload, dtype="<u4", count=lanes, offset=_PAYLOAD_HEADER.size)
+            .astype(np.uint32)
+        )
+        # The word-budget check inside the loop keeps the renormalisation
+        # gather in bounds (a corrupt stream that wants more words than
+        # the payload holds is rejected there), so no clamp per round.
+        words = np.frombuffer(
+            payload, dtype="<u2", count=n_words, offset=_PAYLOAD_HEADER.size + 4 * lanes
+        ).astype(np.uint32)
+        slot_sym, slot_freq, slot_rel = table.slot_tables()
+
+        rounds = -(-count // lanes)
+        out = np.empty((rounds, lanes), dtype=np.int64)
+        slot_mask = np.uint32(PROB_SCALE - 1)
+        shift_prob = np.uint32(PROB_BITS)
+        shift_word = np.uint32(16)
+        low_bound = np.uint32(RANS_L)
+        wp = 0
+        for r in range(rounds):
+            slot = x & slot_mask
+            out[r] = slot_sym[slot]
+            x = slot_freq[slot] * (x >> shift_prob) + slot_rel[slot]
+            need = x < low_bound
+            k = int(np.count_nonzero(need))
+            if k:
+                if wp + k > n_words:
+                    raise EncodingError(
+                        "corrupt rANS payload: stream consumed past its words"
+                    )
+                pos = np.cumsum(need) + (wp - 1)
+                x = np.where(need, (x << shift_word) | words[pos], x)
+                wp += k
+        if wp != n_words or not bool((x == np.uint32(RANS_L)).all()):
+            raise EncodingError("corrupt rANS payload: stream did not fold back to L")
+        return out.reshape(-1)[:count]
+
+    # ------------------------------------------------------------------ #
+    # Size estimation
+    # ------------------------------------------------------------------ #
+    def estimate_encoded_bytes(self, symbols: np.ndarray) -> Optional[int]:
+        """Serialised size (payload + table) without materialising words.
+
+        ``None`` when the alphabet does not fit a rANS table; the
+        per-block codec chooser treats that as "rANS unavailable".
+        """
+        arr = np.asarray(symbols, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return 0
+        frequencies = _stream_frequencies(arr)
+        table = RansFrequencyTable.try_from_frequencies(frequencies)
+        if table is None:
+            return None
+        bits = table.estimate_payload_bits(frequencies)
+        if bits is None:  # pragma: no cover - table was built from these counts
+            return None
+        lanes = _pick_lanes(int(arr.size))
+        payload = _PAYLOAD_HEADER.size + 4 * lanes + (bits + 7) // 8
+        return payload + table.serialized_nbytes()
+
+
+def _stream_frequencies(arr: np.ndarray) -> Dict[int, int]:
+    """Symbol histogram of ``arr`` as a plain dict."""
+    values, counts = np.unique(arr, return_counts=True)
+    return {int(s): int(c) for s, c in zip(values, counts)}

@@ -345,8 +345,9 @@ class CompressedBlob:
         """The file-wide entropy codebook, when the blob stores one.
 
         Blocked blobs written in shared-codebook mode serialise the
-        Huffman codebook **once**, base64-encoded in the blob header,
-        instead of once per ``block:<id>`` section.  Returns ``None`` for
+        entropy model (a Huffman codebook or rANS frequency table)
+        **once**, base64-encoded in the blob header, instead of once per
+        ``block:<id>`` section.  Returns ``None`` for
         per-block-codebook (PR 1–2 era) and whole-array blobs.  The
         header travels with :meth:`export_block` messages, so streamed
         blocks stay independently decodable at the destination.
@@ -382,7 +383,10 @@ class CompressedBlob:
                 return "per-block"
         # Blobs from before per-entry codebook tracking: infer from the
         # pipeline's recorded entropy stage.
-        if self.is_blocked and self.container.header.get("entropy_stage") == "huffman":
+        if self.is_blocked and self.container.header.get("entropy_stage") in (
+            "huffman",
+            "rans",
+        ):
             return "per-block"
         return "none"
 

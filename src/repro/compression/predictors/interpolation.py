@@ -8,11 +8,17 @@ and the prediction residual is quantised.  Because every prediction only
 uses values reconstructed in *earlier* passes, each pass vectorises over
 all of its target points while remaining bit-exact between encoder and
 decoder.
+
+The pass schedule — slicers, interpolation gather indices, cubic masks —
+is a pure function of the array shape, so it is compiled once per
+``(shape, order)`` and cached at module level.  Blocked pipelines encode
+thousands of identically-shaped blocks; without the cache, rebuilding
+those small index arrays dominates the encode profile.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +27,73 @@ from .base import Predictor, PredictorOutput
 from ..quantizer import LinearQuantizer
 
 __all__ = ["InterpolationPredictor"]
+
+
+class _PassPlan:
+    """Precomputed geometry of one interpolation pass."""
+
+    __slots__ = (
+        "axis",
+        "slicer",
+        "targets",
+        "scatter",
+        "left_idx",
+        "right_idx",
+        "far_left_idx",
+        "far_right_idx",
+        "cubic_mask",
+    )
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        axis: int,
+        step: int,
+        coarse: int,
+        order: str,
+    ) -> None:
+        slicers: List[slice] = []
+        for a in range(len(shape)):
+            if a == axis:
+                slicers.append(slice(None))
+            elif a < axis:
+                slicers.append(slice(None, None, step))
+            else:
+                slicers.append(slice(None, None, coarse))
+        targets = np.arange(step, shape[axis], 2 * step)
+        self.axis = axis
+        self.slicer = tuple(slicers)
+        self.targets = targets
+        scatter: List[Any] = [slice(None)] * len(shape)
+        scatter[axis] = targets
+        self.scatter = tuple(scatter)
+
+        dim = shape[axis]
+        left_idx = targets - step
+        right_pos = targets + step
+        has_right = right_pos < dim
+        self.left_idx = left_idx
+        self.right_idx = np.where(has_right, right_pos, left_idx)
+        self.far_left_idx: Optional[np.ndarray] = None
+        self.far_right_idx: Optional[np.ndarray] = None
+        self.cubic_mask: Optional[np.ndarray] = None
+        if order == "cubic":
+            far_left_pos = targets - 3 * step
+            far_right_pos = targets + 3 * step
+            cubic_ok = (far_left_pos >= 0) & (far_right_pos < dim) & has_right
+            if np.any(cubic_ok):
+                self.far_left_idx = np.where(cubic_ok, far_left_pos, left_idx)
+                self.far_right_idx = np.where(cubic_ok, far_right_pos, self.right_idx)
+                mask_shape = [1] * len(shape)
+                mask_shape[axis] = targets.size
+                self.cubic_mask = cubic_ok.reshape(mask_shape)
+
+
+#: ``(shape, order) -> (base_stride, [pass plans])``.  Read/write races
+#: under the blocked thread pool are benign (worst case a plan is built
+#: twice); entries are tiny index arrays.
+_PLAN_CACHE: Dict[Tuple[Tuple[int, ...], str], Tuple[int, List[_PassPlan]]] = {}
+_PLAN_CACHE_LIMIT = 64
 
 
 class InterpolationPredictor(Predictor):
@@ -55,54 +128,39 @@ class InterpolationPredictor(Predictor):
                 yield axis, step, 2 * step
             coarse //= 2
 
-    def _pass_selector(
-        self, shape: Tuple[int, ...], axis: int, step: int, coarse: int
-    ) -> Tuple[Tuple[slice, ...], np.ndarray]:
-        """Return (sub-array slicer, target indices along ``axis``) for a pass.
-
-        The slicer restricts axes processed earlier in this level to the
-        fine grid (``step``) and later axes to the coarse grid (``coarse``);
-        the target indices are the odd multiples of ``step`` along ``axis``.
-        """
-        slicers: List[slice] = []
-        for a in range(len(shape)):
-            if a == axis:
-                slicers.append(slice(None))
-            elif a < axis:
-                slicers.append(slice(None, None, step))
-            else:
-                slicers.append(slice(None, None, coarse))
-        targets = np.arange(step, shape[axis], 2 * step)
-        return tuple(slicers), targets
+    def _compiled_passes(self, shape: Tuple[int, ...]) -> Tuple[int, List[_PassPlan]]:
+        key = (shape, self.order)
+        cached = _PLAN_CACHE.get(key)
+        if cached is None:
+            plans = [
+                plan
+                for axis, step, coarse in self._passes(shape)
+                if (plan := _PassPlan(shape, axis, step, coarse, self.order)).targets.size
+            ]
+            cached = (self._base_stride(shape), plans)
+            if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+                _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            _PLAN_CACHE[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Prediction along an axis
     # ------------------------------------------------------------------ #
-    def _predict(
-        self, sub: np.ndarray, targets: np.ndarray, axis: int, step: int, dim: int
-    ) -> np.ndarray:
-        """Interpolate values at ``targets`` along ``axis`` of ``sub``."""
-        left_idx = targets - step
-        right_pos = targets + step
-        has_right = right_pos < dim
-        right_idx = np.where(has_right, right_pos, left_idx)
-        left = np.take(sub, left_idx, axis=axis)
-        right = np.take(sub, right_idx, axis=axis)
-        pred = 0.5 * (left + right)
-        if self.order == "cubic":
-            far_left_pos = targets - 3 * step
-            far_right_pos = targets + 3 * step
-            cubic_ok = (far_left_pos >= 0) & (far_right_pos < dim) & has_right
-            if np.any(cubic_ok):
-                fl_idx = np.where(cubic_ok, far_left_pos, left_idx)
-                fr_idx = np.where(cubic_ok, far_right_pos, right_idx)
-                far_left = np.take(sub, fl_idx, axis=axis)
-                far_right = np.take(sub, fr_idx, axis=axis)
-                cubic = (9.0 / 16.0) * (left + right) - (1.0 / 16.0) * (far_left + far_right)
-                mask_shape = [1] * sub.ndim
-                mask_shape[axis] = targets.size
-                mask = cubic_ok.reshape(mask_shape)
-                pred = np.where(mask, cubic, pred)
+    @staticmethod
+    def _predict(sub: np.ndarray, plan: _PassPlan) -> np.ndarray:
+        """Interpolate values at the plan's targets along its axis."""
+        axis = plan.axis
+        left = sub.take(plan.left_idx, axis=axis)
+        right = sub.take(plan.right_idx, axis=axis)
+        base = left + right
+        pred = 0.5 * base
+        if plan.cubic_mask is not None:
+            far = sub.take(plan.far_left_idx, axis=axis) + sub.take(
+                plan.far_right_idx, axis=axis
+            )
+            pred = np.where(
+                plan.cubic_mask, (9.0 / 16.0) * base - (1.0 / 16.0) * far, pred
+            )
         return pred
 
     # ------------------------------------------------------------------ #
@@ -114,7 +172,7 @@ class InterpolationPredictor(Predictor):
         arr = np.asarray(data, dtype=np.float64)
         shape = arr.shape
         recon = np.zeros_like(arr)
-        base_stride = self._base_stride(shape)
+        base_stride, plans = self._compiled_passes(shape)
         base_slicer = tuple(slice(None, None, base_stride) for _ in shape)
         base_values = arr[base_slicer].copy()
         recon[base_slicer] = base_values
@@ -122,20 +180,12 @@ class InterpolationPredictor(Predictor):
         code_parts: List[np.ndarray] = []
         mask_parts: List[np.ndarray] = []
         literal_parts: List[np.ndarray] = []
-        for axis, step, coarse in self._passes(shape):
-            slicer, targets = self._pass_selector(shape, axis, step, coarse)
-            if targets.size == 0:
-                continue
-            sub_recon = recon[slicer]
-            sub_true = arr[slicer]
-            dim = shape[axis]
-            pred = self._predict(sub_recon, targets, axis, step, dim)
-            true_vals = np.take(sub_true, targets, axis=axis)
+        for plan in plans:
+            sub_recon = recon[plan.slicer]
+            pred = self._predict(sub_recon, plan)
+            true_vals = arr[plan.slicer].take(plan.targets, axis=plan.axis)
             quant = self._quantizer.quantize((true_vals - pred).ravel(), error_bound_abs)
-            recon_vals = pred + quant.approximations.reshape(pred.shape)
-            index: List[Any] = [slice(None)] * arr.ndim
-            index[axis] = targets
-            sub_recon[tuple(index)] = recon_vals
+            sub_recon[plan.scatter] = pred + quant.approximations.reshape(pred.shape)
             code_parts.append(quant.codes)
             mask_parts.append(quant.unpredictable_mask)
             literal_parts.append(quant.literals)
@@ -180,15 +230,17 @@ class InterpolationPredictor(Predictor):
         codes = np.asarray(codes, dtype=np.int64)
         masks = np.asarray(unpredictable_mask, dtype=bool)
         lits = np.asarray(literals, dtype=np.float64)
+        stored_stride, plans = self._compiled_passes(tuple(shape))
+        if stored_stride != base_stride:
+            raise CompressionError(
+                f"interpolation base stride mismatch: stream says {base_stride}, "
+                f"shape implies {stored_stride}"
+            )
         code_pos = 0
         lit_pos = 0
-        for axis, step, coarse in self._passes(shape):
-            slicer, targets = self._pass_selector(shape, axis, step, coarse)
-            if targets.size == 0:
-                continue
-            sub_recon = recon[slicer]
-            dim = shape[axis]
-            pred = self._predict(sub_recon, targets, axis, step, dim)
+        for plan in plans:
+            sub_recon = recon[plan.slicer]
+            pred = self._predict(sub_recon, plan)
             count = pred.size
             if code_pos + count > codes.size:
                 raise CompressionError(
@@ -204,10 +256,7 @@ class InterpolationPredictor(Predictor):
             residuals = self._quantizer.dequantize(
                 pass_codes, pass_mask, pass_lits, error_bound_abs
             )
-            recon_vals = pred + residuals.reshape(pred.shape)
-            index: List[Any] = [slice(None)] * len(shape)
-            index[axis] = targets
-            sub_recon[tuple(index)] = recon_vals
+            sub_recon[plan.scatter] = pred + residuals.reshape(pred.shape)
         if code_pos != codes.size:
             raise CompressionError(
                 f"interpolation decode consumed {code_pos} codes but stream has {codes.size}"

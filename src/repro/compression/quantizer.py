@@ -68,9 +68,19 @@ class LinearQuantizer:
         step = 2.0 * float(error_bound)
         raw = np.rint(res / step)
         # Values beyond the representable bin range (or non-finite) escape
-        # to literal storage.
-        with np.errstate(invalid="ignore"):
-            out_of_range = (np.abs(raw) > self.bin_radius) | ~np.isfinite(raw)
+        # to literal storage.  The negated ``<=`` comparison classifies
+        # NaN as out-of-range without an explicit finiteness pass.
+        out_of_range = ~(np.abs(raw) <= self.bin_radius)
+        if not out_of_range.any():
+            # Fast path for the common fully-predictable case: no literal
+            # bookkeeping, no masked writes.
+            codes = raw.astype(np.int64)
+            return QuantizationResult(
+                codes=codes,
+                unpredictable_mask=out_of_range,
+                literals=np.zeros(0, dtype=np.float64),
+                approximations=codes * step,
+            )
         codes = np.where(out_of_range, 0.0, raw).astype(np.int64)
         approximations = codes.astype(np.float64) * step
         literals = res[out_of_range].astype(np.float64)

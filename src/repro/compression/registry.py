@@ -60,6 +60,8 @@ def create_blocked_compressor(
     shared_codebook: Optional[bool] = None,
     block_cache=None,
     block_cache_tag: str = "",
+    entropy_stage: Optional[str] = None,
+    adaptive_entropy: Optional[bool] = None,
     **kwargs,
 ) -> Compressor:
     """Instantiate a compressor and wire up blocked-mode execution.
@@ -71,21 +73,31 @@ def create_blocked_compressor(
     :class:`~repro.prediction.block_policy.BlockPolicy`) replaces
     brute-force adaptive predictor selection with the learned one, and
     ``shared_codebook`` toggles the per-file entropy codebook (``None``
-    keeps the pipeline's default of sharing).  ``block_cache`` (a
-    :class:`~repro.cache.BlobCache`) lets blocked compression reuse
-    identical self-contained block payloads across files, jobs and
-    tenants, with ``block_cache_tag`` folded into the cache keys (it
-    carries config the pipeline cannot see, e.g. the block-policy path).
-    This is the single place the orchestrator and CLI share for
-    blocked-mode wiring.
+    keeps the pipeline's default of sharing).  ``entropy_stage``
+    overrides the pipeline's configured entropy codec (``huffman`` /
+    ``rans`` / ``none``) and ``adaptive_entropy`` toggles per-block codec
+    selection (``None`` lets it follow adaptive predictor selection).
+    ``block_cache`` (a :class:`~repro.cache.BlobCache`) lets blocked
+    compression reuse identical self-contained block payloads across
+    files, jobs and tenants, with ``block_cache_tag`` folded into the
+    cache keys (it carries config the pipeline cannot see, e.g. the
+    block-policy path).  This is the single place the orchestrator and
+    CLI share for blocked-mode wiring.
     """
     compressor = create_compressor(name, **kwargs)
     if isinstance(compressor, PredictionPipelineCompressor):
+        if entropy_stage is not None and entropy_stage != compressor.config.entropy_stage:
+            compressor.config = PipelineConfig(
+                entropy_stage=entropy_stage,
+                lossless_backend=compressor.config.lossless_backend,
+                lossless_options=dict(compressor.config.lossless_options),
+            )
         compressor.configure_blocks(
             block_executor=block_executor,
             shared_codebook=shared_codebook,
             block_cache=block_cache,
             block_cache_tag=block_cache_tag,
+            adaptive_entropy=adaptive_entropy,
         )
         if block_shape:
             compressor.configure_blocks(

@@ -2,10 +2,17 @@
 
 This mirrors the modular structure of SZ3 that the paper highlights: a
 *predictor* stage (Lorenzo / regression / interpolation), a *quantiser*
-(inside the predictors), an *entropy* stage (Huffman or bypass) and a
-final *lossless* dictionary stage (deflate / LZ77 / none).  Different
-combinations form the different "compression pipelines" evaluated in the
-paper.
+(inside the predictors), an *entropy* stage (Huffman, interleaved rANS,
+or bypass) and a final *lossless* dictionary stage (deflate / LZ77 /
+none).  Different combinations form the different "compression
+pipelines" evaluated in the paper.
+
+Every block records the codec that entropy-coded it in its section
+header (``entropy``) and block-index entry, so decoding dispatches on
+what is stored rather than on the reader's configuration: blobs with
+mixed per-block codecs — produced when adaptive mode picks the codec
+per block, by learned policy or size-estimate heuristic — decode on any
+reader.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from ..encoders.huffman import (
     symbol_frequencies,
 )
 from ..encoders.lossless import LosslessBackend, get_lossless_backend
+from ..encoders.rans import RansCodec, RansFrequencyTable
 from ..interface import CompressedBlob, Compressor, SectionContainer
 from ..predictors import create_predictor
 from ..predictors.base import Predictor, PredictorOutput
@@ -37,7 +45,15 @@ from ..predictors.lorenzo import LorenzoPredictor
 
 __all__ = ["PipelineConfig", "PredictionPipelineCompressor"]
 
-_ENTROPY_STAGES = ("huffman", "none")
+_ENTROPY_STAGES = ("huffman", "rans", "none")
+
+#: Stages that actually entropy-code the symbol stream (and can thus
+#: participate in shared per-file codebooks / per-block codec choice).
+_ENTROPY_CODED = ("huffman", "rans")
+
+#: A file-wide entropy model: a Huffman codebook or a rANS frequency
+#: table, depending on the pipeline's configured stage.
+SharedBook = Any
 
 #: A callable mapping per-block work over a collection of items; the
 #: orchestrator injects :meth:`repro.core.parallel.ParallelExecutor.map_blocks`
@@ -103,6 +119,7 @@ def _block_worker_state(payload: Dict[str, Any]):
             name=payload["name"],
             block_shape=payload["block_shape"],
             adaptive_predictor=payload["adaptive_predictor"],
+            adaptive_entropy=payload["adaptive_entropy"],
             shared_codebook=payload["shared_codebook"],
         )
         arr, shm = _attach_payload_array(payload)
@@ -121,7 +138,7 @@ def _encode_block_worker(payload: Dict[str, Any], spec: BlockSpec):
 def _choose_block_worker(payload: Dict[str, Any], spec: BlockSpec):
     """Shared-codebook phase A: predictor selection + quantisation only."""
     pipeline, arr, plan = _block_worker_state(payload)
-    name, encoding, _ = pipeline._choose_block_encoding(
+    name, encoding, _, _ = pipeline._choose_block_encoding(
         plan.extract(arr, spec), payload["error_bound_abs"]
     )
     return name, encoding
@@ -131,10 +148,10 @@ def _finish_block_worker(payload: Dict[str, Any], task: tuple):
     """Shared-codebook phase B: serialise one encoding against the book."""
     spec, name, encoding, book_bytes = task
     pipeline, _, _ = _block_worker_state(payload)
-    book = HuffmanCodebook.deserialize(book_bytes) if book_bytes else None
-    inner, used_shared = pipeline._serialize_encoding_ex(encoding, book)
+    book = pipeline._shared_book_from_bytes(book_bytes)
+    inner, used_shared, codec = pipeline._serialize_encoding_ex(encoding, book)
     return (
-        pipeline._block_entry(spec, name, used_shared),
+        pipeline._block_entry(spec, name, used_shared, codec),
         pipeline._lossless.compress(inner),
     )
 
@@ -155,7 +172,7 @@ class PipelineConfig:
 
 
 class PredictionPipelineCompressor(Compressor):
-    """A full predictor → quantiser → Huffman → lossless pipeline."""
+    """A full predictor → quantiser → entropy → lossless pipeline."""
 
     name = "prediction-pipeline"
 
@@ -171,6 +188,7 @@ class PredictionPipelineCompressor(Compressor):
         shared_codebook: bool = True,
         block_cache: Optional[Any] = None,
         block_cache_tag: str = "",
+        adaptive_entropy: Optional[bool] = None,
     ) -> None:
         self.predictor = predictor
         self.config = config or PipelineConfig()
@@ -178,6 +196,12 @@ class PredictionPipelineCompressor(Compressor):
             self.name = name
         self.block_shape = block_shape
         self.adaptive_predictor = bool(adaptive_predictor)
+        #: Per-block entropy-codec choice (huffman vs rANS, picked by the
+        #: learned policy or a size-estimate heuristic).  ``None`` means
+        #: "follow adaptive_predictor"; it only engages when per-block
+        #: codebooks are in use — a shared-codebook blob is committed to
+        #: the configured stage's file-wide model.
+        self.adaptive_entropy = adaptive_entropy if adaptive_entropy is None else bool(adaptive_entropy)
         self.block_executor = block_executor
         #: Optional :class:`~repro.cache.BlobCache` whose block tier
         #: dedups identical blocks across files/jobs/tenants.  Only
@@ -214,6 +238,7 @@ class PredictionPipelineCompressor(Compressor):
         self.last_dedup_stats: Optional[Dict[str, int]] = None
         self._stage_events: List[Tuple[str, float]] = []
         self._huffman = HuffmanCodec()
+        self._rans = RansCodec()
         self._lossless: LosslessBackend = get_lossless_backend(
             self.config.lossless_backend, **self.config.lossless_options
         )
@@ -227,6 +252,7 @@ class PredictionPipelineCompressor(Compressor):
         shared_codebook: Optional[bool] = None,
         block_cache: Optional[Any] = None,
         block_cache_tag: Optional[str] = None,
+        adaptive_entropy: Optional[bool] = None,
     ) -> "PredictionPipelineCompressor":
         """Switch this pipeline into (or re-tune) blocked mode.
 
@@ -236,6 +262,8 @@ class PredictionPipelineCompressor(Compressor):
             self.block_shape = block_shape
         if adaptive_predictor is not None:
             self.adaptive_predictor = bool(adaptive_predictor)
+        if adaptive_entropy is not None:
+            self.adaptive_entropy = bool(adaptive_entropy)
         if block_executor is not None:
             self.block_executor = block_executor
         if block_policy is not None:
@@ -287,7 +315,10 @@ class PredictionPipelineCompressor(Compressor):
             dtype=dtype,
             error_bound_abs=error_bound_abs,
             container=outer,
-            metadata={"predictor": self.predictor.name},
+            metadata={
+                "predictor": self.predictor.name,
+                "entropy_stage": self.config.entropy_stage,
+            },
         )
 
     def decompress_blob(self, blob: CompressedBlob) -> np.ndarray:
@@ -313,6 +344,7 @@ class PredictionPipelineCompressor(Compressor):
         if self.block_shape is not None:
             description["block_shape"] = self.block_shape
             description["adaptive_predictor"] = self.adaptive_predictor
+            description["adaptive_entropy"] = self._entropy_choice_active()
             description["shared_codebook"] = self._shared_codebook_active()
         return description
 
@@ -426,38 +458,109 @@ class PredictionPipelineCompressor(Compressor):
 
     def _choose_block_encoding(
         self, block: np.ndarray, error_bound_abs: float
-    ) -> Tuple[str, PredictorOutput, Optional[bytes]]:
+    ) -> Tuple[str, PredictorOutput, Optional[bytes], Optional[str]]:
         """Pick the predictor for one block and return its encoding.
 
-        Returns ``(predictor_name, encoding, payload)`` where ``payload``
-        is the already-serialised (per-block-codebook) bytes when the
-        brute-force comparison produced them, else ``None``.
+        Returns ``(predictor_name, encoding, payload, codec)`` where
+        ``payload`` is the already-serialised (per-block-codebook) bytes
+        when the brute-force comparison produced them (``codec`` then
+        names the entropy codec that serialisation actually used), else
+        ``None``/``None``.
         """
         chosen = self._policy_predictor(block, error_bound_abs)
         if chosen is not None:
-            return chosen.name, self._timed_encode_block(chosen, block, error_bound_abs), None
+            return (
+                chosen.name,
+                self._timed_encode_block(chosen, block, error_bound_abs),
+                None,
+                None,
+            )
         candidates = self._candidate_predictors(block)
         if len(candidates) == 1:
             predictor = candidates[0]
-            return predictor.name, self._timed_encode_block(predictor, block, error_bound_abs), None
-        best: Optional[Tuple[str, PredictorOutput, bytes]] = None
+            return (
+                predictor.name,
+                self._timed_encode_block(predictor, block, error_bound_abs),
+                None,
+                None,
+            )
+        best: Optional[Tuple[str, PredictorOutput, bytes, str]] = None
         for predictor in candidates:
             encoding = self._timed_encode_block(predictor, block, error_bound_abs)
-            payload = self._compress_lossless(self._serialize_encoding(encoding))
+            inner, _, codec = self._serialize_encoding_ex(encoding, None)
+            payload = self._compress_lossless(inner)
             if best is None or len(payload) < len(best[2]):
-                best = (predictor.name, encoding, payload)
+                best = (predictor.name, encoding, payload, codec)
         assert best is not None
         return best
 
     def _block_entry(
-        self, spec: BlockSpec, predictor_name: str, used_shared: bool
+        self, spec: BlockSpec, predictor_name: str, used_shared: bool, codec: str
     ) -> Dict[str, Any]:
         entry = spec.as_dict()
         entry["predictor"] = predictor_name
         entry["section"] = f"block:{spec.block_id}"
-        if self.config.entropy_stage == "huffman":
+        if codec in _ENTROPY_CODED:
+            entry["entropy"] = codec
             entry["codebook"] = "shared" if used_shared else "block"
         return entry
+
+    def _entropy_choice_active(self) -> bool:
+        """Whether the entropy codec is chosen per block.
+
+        Per-block choice needs per-block entropy models, so it is off
+        whenever a shared codebook commits the whole file to one stage
+        (and trivially off when the entropy stage is bypassed).  The
+        explicit ``adaptive_entropy`` flag wins; unset, the choice rides
+        along with adaptive predictor selection.
+        """
+        if self.config.entropy_stage == "none" or self._shared_codebook_active():
+            return False
+        if self.adaptive_entropy is not None:
+            return self.adaptive_entropy
+        return self.adaptive_predictor
+
+    def _entropy_codec_for_block(
+        self, block: np.ndarray, codes: np.ndarray, error_bound_abs: float
+    ) -> Optional[str]:
+        """Entropy codec for one block, or ``None`` for the config default.
+
+        Mirrors predictor selection: the learned block policy decides
+        when it has entropy models, otherwise the exact serialised-size
+        estimators arbitrate.  rANS bows out (``None`` estimate) when the
+        block's alphabet cannot fit a 12-bit frequency table.
+        """
+        if not self._entropy_choice_active():
+            return None
+        policy = self.block_policy
+        if (
+            policy is not None
+            and getattr(policy, "chooses_entropy", False)
+            and np.isfinite(block).all()
+        ):
+            try:
+                choice = policy.choose_entropy_for_block(
+                    block, error_bound_abs, compressor=self.name
+                )
+            except Exception as exc:
+                get_logger(__name__).warning(
+                    "block policy entropy choice failed (%s: %s); falling "
+                    "back to size-estimate codec selection for this pipeline",
+                    type(exc).__name__,
+                    exc,
+                )
+                self.block_policy = None
+            else:
+                if choice in _ENTROPY_CODED:
+                    return choice
+        symbols = np.asarray(codes, dtype=np.int64)
+        if symbols.size == 0:
+            return "huffman"
+        rans_size = self._rans.estimate_encoded_bytes(symbols)
+        if rans_size is None:
+            return "huffman"
+        huffman_size = self._huffman.estimate_encoded_bytes(symbols)
+        return "rans" if rans_size < huffman_size else "huffman"
 
     def encode_one_block(
         self,
@@ -465,7 +568,7 @@ class PredictionPipelineCompressor(Compressor):
         plan: BlockPlan,
         spec: BlockSpec,
         error_bound_abs: float,
-        shared_book: Optional[HuffmanCodebook] = None,
+        shared_book: Optional[SharedBook] = None,
     ) -> Tuple[Dict[str, Any], bytes]:
         """Encode a single block; returns its ``(index_entry, payload)``.
 
@@ -474,29 +577,44 @@ class PredictionPipelineCompressor(Compressor):
         first, brute force otherwise), encoding, serialisation and the
         lossless stage for one independent block.  With ``shared_book``
         the block's symbols are entropy-coded against the file-wide
-        codebook; a block whose alphabet escapes it falls back to its own
-        per-block codebook (recorded in the index entry).
+        model; a block whose alphabet escapes it falls back to its own
+        per-block model (recorded in the index entry).  In per-block
+        mode, adaptive entropy selection may override the configured
+        codec block by block.
         """
         block = plan.extract(arr, spec)
-        name, encoding, payload = self._choose_block_encoding(block, error_bound_abs)
+        name, encoding, payload, codec = self._choose_block_encoding(block, error_bound_abs)
         used_shared = False
         if shared_book is not None:
-            inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
+            inner, used_shared, codec = self._serialize_encoding_ex(encoding, shared_book)
             payload = self._compress_lossless(inner)
-        elif payload is None:
-            payload = self._compress_lossless(self._serialize_encoding(encoding))
-        return self._block_entry(spec, name, used_shared), payload
+        else:
+            choice = self._entropy_codec_for_block(block, encoding.codes, error_bound_abs)
+            if payload is None or (choice is not None and choice != codec):
+                inner, _, codec = self._serialize_encoding_ex(
+                    encoding, None, entropy=choice
+                )
+                payload = self._compress_lossless(inner)
+        assert codec is not None
+        return self._block_entry(spec, name, used_shared, codec), payload
 
     def measure_block_encoding(
-        self, block: np.ndarray, error_bound_abs: float, predictor: Predictor
+        self,
+        block: np.ndarray,
+        error_bound_abs: float,
+        predictor: Predictor,
+        entropy_stage: Optional[str] = None,
     ) -> int:
         """Serialised size one candidate predictor achieves on one block.
 
         Used to label training samples for the learned block policy
-        without duplicating the pipeline's serialisation format.
+        without duplicating the pipeline's serialisation format.  Pass
+        ``entropy_stage`` to measure the same encoding under a different
+        entropy codec (the policy's codec-selection labels).
         """
         encoding = predictor.encode_block(np.ascontiguousarray(block), error_bound_abs)
-        return len(self._lossless.compress(self._serialize_encoding(encoding)))
+        inner, _, _ = self._serialize_encoding_ex(encoding, None, entropy=entropy_stage)
+        return len(self._lossless.compress(inner))
 
     def block_plan(self, arr: np.ndarray) -> BlockPlan:
         """The block partition this pipeline applies to ``arr``."""
@@ -509,15 +627,16 @@ class PredictionPipelineCompressor(Compressor):
         arr: np.ndarray,
         plan: BlockPlan,
         error_bound_abs: float,
-        shared_book: Optional[HuffmanCodebook] = None,
+        shared_book: Optional[SharedBook] = None,
     ) -> Dict[str, Any]:
         """Blob-level header for a v2 blob of ``arr`` (sans block index).
 
         The streaming pipeline ships this once so the destination can
         assemble the received block sections into a valid blob.  The
-        shared codebook — when one is in use — rides in this header
-        (base64), so it is serialised once per file instead of once per
-        block and automatically reaches streamed-block consumers.
+        shared entropy model — a Huffman codebook or rANS frequency
+        table, when one is in use — rides in this header (base64), so it
+        is serialised once per file instead of once per block and
+        automatically reaches streamed-block consumers.
         """
         header = {
             "compressor": self.name,
@@ -530,22 +649,54 @@ class PredictionPipelineCompressor(Compressor):
             "block_shape": list(plan.block_shape),
             "metadata": {
                 "predictor": self.predictor.name,
+                "entropy_stage": self.config.entropy_stage,
                 "num_blocks": plan.num_blocks,
                 "adaptive_predictor": self.adaptive_predictor,
             },
         }
-        if shared_book is not None and shared_book.lengths:
-            # zlib + base64: the (symbol, length) int64 pairs are mostly
-            # zero bytes, and unlike the per-block codebook sections this
+        book_bytes = self._shared_book_serialized(shared_book)
+        if book_bytes is not None:
+            # zlib + base64: the codebook/table payloads are mostly zero
+            # bytes, and unlike the per-block codebook sections this
             # header field never passes through the lossless stage.
             header["shared_codebook"] = base64.b64encode(
-                zlib.compress(shared_book.serialize(), 6)
+                zlib.compress(book_bytes, 6)
             ).decode("ascii")
         return header
 
     def _shared_codebook_active(self) -> bool:
-        """Whether blocked compression builds a file-wide codebook."""
-        return self.shared_codebook and self.config.entropy_stage == "huffman"
+        """Whether blocked compression builds a file-wide entropy model."""
+        return self.shared_codebook and self.config.entropy_stage in _ENTROPY_CODED
+
+    @staticmethod
+    def _shared_book_serialized(shared_book: Optional[SharedBook]) -> Optional[bytes]:
+        """Serialised shared model, or ``None`` when absent/empty."""
+        if shared_book is None:
+            return None
+        if isinstance(shared_book, HuffmanCodebook) and not shared_book.lengths:
+            return None
+        return shared_book.serialize()
+
+    def _build_shared_book(self, frequencies: Dict[int, int]) -> Optional[SharedBook]:
+        """File-wide entropy model for the configured stage.
+
+        ``None`` when there is nothing to model — or, for rANS, when the
+        pooled alphabet cannot fit a 12-bit frequency table, in which
+        case every block falls back to its own per-block model.
+        """
+        if not frequencies:
+            return None
+        if self.config.entropy_stage == "rans":
+            return RansFrequencyTable.try_from_frequencies(frequencies)
+        return HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
+
+    def _shared_book_from_bytes(self, data: Optional[bytes]) -> Optional[SharedBook]:
+        """Deserialise a shared model for the configured stage."""
+        if not data:
+            return None
+        if self.config.entropy_stage == "rans":
+            return RansFrequencyTable.deserialize(data)
+        return HuffmanCodebook.deserialize(data)
 
     def prepare_shared_codebook(
         self,
@@ -553,16 +704,16 @@ class PredictionPipelineCompressor(Compressor):
         plan: BlockPlan,
         error_bound_abs: float,
         max_sample_blocks: int = 8,
-    ) -> Optional[HuffmanCodebook]:
-        """Build a file-wide codebook from a *sample* of blocks.
+    ) -> Optional[SharedBook]:
+        """Build a file-wide entropy model from a *sample* of blocks.
 
         The streaming pipeline must ship the blob header (and with it the
-        codebook) before the first block, so it cannot wait for exact
+        shared model) before the first block, so it cannot wait for exact
         all-block frequencies the way the bulk path does; instead up to
         ``max_sample_blocks`` evenly spaced blocks are quantised through
         the pipeline's predictor and their pooled symbol frequencies seed
-        the book.  Blocks whose alphabet escapes the sampled book fall
-        back to per-block codebooks at encode time.
+        the model.  Blocks whose alphabet escapes the sampled model fall
+        back to per-block codebooks/tables at encode time.
         """
         if not self._shared_codebook_active():
             return None
@@ -581,9 +732,7 @@ class PredictionPipelineCompressor(Compressor):
             encoding = sampler.encode_block(block, error_bound_abs)
             for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
                 frequencies[sym] = frequencies.get(sym, 0) + freq
-        if not frequencies:
-            return None
-        return HuffmanCodebook.from_frequencies(frequencies, max_length=MAX_CODE_LENGTH)
+        return self._build_shared_book(frequencies)
 
     # ------------------------------------------------------------------ #
     # Block dedup: within-blob aliasing + the cross-job block store
@@ -646,6 +795,8 @@ class PredictionPipelineCompressor(Compressor):
             entry["predictor"] = rep_entry["predictor"]
             entry["section"] = rep_entry["section"]
             entry["alias_of"] = int(rep_id)
+            if "entropy" in rep_entry:
+                entry["entropy"] = rep_entry["entropy"]
             if "codebook" in rep_entry:
                 entry["codebook"] = rep_entry["codebook"]
             results.append((entry, b""))
@@ -671,6 +822,11 @@ class PredictionPipelineCompressor(Compressor):
             extra={
                 "entropy": self.config.entropy_stage,
                 "lossless": self._lossless.name,
+                # Bumped when the per-block payload layout changes (v2:
+                # per-section entropy tags + adaptive codec choice), so
+                # entries cached by older builds cannot be served into
+                # blobs they would not be byte-identical with.
+                "block_format": 2,
             },
         )
         return block_cache_key(digest, fingerprint)
@@ -693,6 +849,8 @@ class PredictionPipelineCompressor(Compressor):
         entry = spec.as_dict()
         entry["predictor"] = meta.get("predictor", self.predictor.name)
         entry["section"] = f"block:{spec.block_id}"
+        if meta.get("entropy"):
+            entry["entropy"] = meta["entropy"]
         if meta.get("codebook"):
             entry["codebook"] = meta["codebook"]
         return entry, payload
@@ -709,6 +867,8 @@ class PredictionPipelineCompressor(Compressor):
             return
         entry, payload = result
         meta: Dict[str, Any] = {"predictor": entry.get("predictor")}
+        if entry.get("entropy"):
+            meta["entropy"] = entry["entropy"]
         if entry.get("codebook"):
             meta["codebook"] = entry["codebook"]
         self.block_cache.put_block(
@@ -766,6 +926,7 @@ class PredictionPipelineCompressor(Compressor):
             "name": self.name,
             "block_shape": self.block_shape,
             "adaptive_predictor": self.adaptive_predictor,
+            "adaptive_entropy": self.adaptive_entropy,
             "shared_codebook": self.shared_codebook,
             "shape": tuple(data.shape),
             "dtype": str(data.dtype),
@@ -797,7 +958,7 @@ class PredictionPipelineCompressor(Compressor):
         reps: List[BlockSpec],
         digests: Dict[int, str],
         counts: Dict[int, int],
-    ) -> Optional[Tuple[Optional[HuffmanCodebook], List[Tuple[Dict[str, Any], bytes]]]]:
+    ) -> Optional[Tuple[Optional[SharedBook], List[Tuple[Dict[str, Any], bytes]]]]:
         """Representative-block encode on a process pool; ``None`` = threads.
 
         Only engages when the injected block executor is process-backed,
@@ -856,12 +1017,8 @@ class PredictionPipelineCompressor(Compressor):
                     weight = counts[spec.block_id]
                     for sym, freq in symbol_frequencies(np.asarray(encoding.codes)).items():
                         frequencies[sym] = frequencies.get(sym, 0) + freq * weight
-                shared_book: Optional[HuffmanCodebook] = None
-                if frequencies:
-                    shared_book = HuffmanCodebook.from_frequencies(
-                        frequencies, max_length=MAX_CODE_LENGTH
-                    )
-                book_bytes = shared_book.serialize() if shared_book else None
+                shared_book = self._build_shared_book(frequencies)
+                book_bytes = self._shared_book_serialized(shared_book)
                 results = pool.map(
                     _finish_block_worker,
                     [
@@ -916,23 +1073,22 @@ class PredictionPipelineCompressor(Compressor):
                     reps,
                 )
                 frequencies: Dict[int, int] = {}
-                for spec, (_, encoding, _) in zip(reps, chosen):
+                for spec, (_, encoding, _, _) in zip(reps, chosen):
                     weight = counts[spec.block_id]
                     for sym, freq in symbol_frequencies(
                         np.asarray(encoding.codes)
                     ).items():
                         frequencies[sym] = frequencies.get(sym, 0) + freq * weight
-                if frequencies:
-                    shared_book = HuffmanCodebook.from_frequencies(
-                        frequencies, max_length=MAX_CODE_LENGTH
-                    )
+                shared_book = self._build_shared_book(frequencies)
 
                 # Phase B: serialise each representative against the book.
-                def finish(item: Tuple[BlockSpec, Tuple[str, PredictorOutput, Any]]):
-                    spec, (name, encoding, _) = item
-                    inner, used_shared = self._serialize_encoding_ex(encoding, shared_book)
+                def finish(item: Tuple[BlockSpec, Tuple[str, PredictorOutput, Any, Any]]):
+                    spec, (name, encoding, _, _) = item
+                    inner, used_shared, codec = self._serialize_encoding_ex(
+                        encoding, shared_book
+                    )
                     return (
-                        self._block_entry(spec, name, used_shared),
+                        self._block_entry(spec, name, used_shared, codec),
                         self._compress_lossless(inner),
                     )
 
@@ -945,9 +1101,15 @@ class PredictionPipelineCompressor(Compressor):
                     reps,
                 )
         header = self.blocked_header(arr, plan, error_bound_abs, shared_book=shared_book)
-        return CompressedBlob.assemble(
-            header, self._expand_aliases(plan, reps, rep_results, alias_of)
-        )
+        results = self._expand_aliases(plan, reps, rep_results, alias_of)
+        codec_counts: Dict[str, int] = {}
+        for entry, _ in results:
+            codec = entry.get("entropy", "none")
+            codec_counts[codec] = codec_counts.get(codec, 0) + 1
+        header["metadata"]["block_codecs"] = {
+            codec: codec_counts[codec] for codec in sorted(codec_counts)
+        }
+        return CompressedBlob.assemble(header, results)
 
     def _predictor_for(self, name: str, meta: Dict[str, Any]) -> Predictor:
         # Rebuild the predictor from the block's recorded meta rather than
@@ -1024,38 +1186,86 @@ class PredictionPipelineCompressor(Compressor):
     # Encoding serialisation
     # ------------------------------------------------------------------ #
     def _serialize_encoding(self, encoding: PredictorOutput) -> bytes:
-        data, _ = self._serialize_encoding_ex(encoding, None)
+        data, _, _ = self._serialize_encoding_ex(encoding, None)
         return data
 
     def _serialize_encoding_ex(
-        self, encoding: PredictorOutput, shared_book: Optional[HuffmanCodebook]
-    ) -> Tuple[bytes, bool]:
-        """Serialise one encoding; returns ``(bytes, used_shared_codebook)``.
+        self,
+        encoding: PredictorOutput,
+        shared_book: Optional[SharedBook],
+        entropy: Optional[str] = None,
+    ) -> Tuple[bytes, bool, str]:
+        """Serialise one encoding; returns ``(bytes, used_shared, codec)``.
+
+        ``codec`` is the entropy codec the stream was *actually* written
+        with (``huffman`` / ``rans`` / ``none``) — also recorded in the
+        section header's ``entropy`` key, which is what decode dispatches
+        on.  ``entropy`` overrides the configured stage for this one
+        encoding (the per-block codec choice); a ``rans`` request whose
+        alphabet cannot fit a 12-bit table degrades to Huffman.
 
         With ``shared_book`` the symbol stream is entropy-coded against
-        the file-wide codebook and **no** ``codes_codebook`` section is
-        written — the book lives once in the blob header.  A block whose
-        alphabet escapes the shared book falls back to its own codebook.
+        the file-wide model and **no** per-block codebook/table section
+        is written — the model lives once in the blob header.  A block
+        whose alphabet escapes the shared model falls back to its own.
         """
+        stage = entropy if entropy is not None else self.config.entropy_stage
         inner = SectionContainer(header={"predictor_meta": encoding.meta})
         codes = np.asarray(encoding.codes, dtype=np.int64)
         inner.header["num_codes"] = int(codes.size)
         used_shared = False
-        if self.config.entropy_stage == "huffman" and codes.size:
+        codec = "none"
+        if stage in _ENTROPY_CODED and codes.size:
             start = time.perf_counter() if self.collect_stage_timings else 0.0
-            payload = None
-            if shared_book is not None:
-                payload = self._huffman.encode_with_book(codes, shared_book)
-            if payload is not None:
-                used_shared = True
-                inner.header["huffman_count"] = int(codes.size)
-                inner.header["huffman_shared"] = True
-                inner.add_section("codes_payload", payload)
-            else:
-                payload, codebook, count = self._huffman.encode(codes)
-                inner.header["huffman_count"] = count
-                inner.add_section("codes_payload", payload)
-                inner.add_section("codes_codebook", codebook)
+            if stage == "rans":
+                payload = None
+                if isinstance(shared_book, RansFrequencyTable):
+                    payload = self._rans.encode_with_table(codes, shared_book)
+                if payload is not None:
+                    used_shared = True
+                    codec = "rans"
+                    inner.header["entropy"] = "rans"
+                    inner.header["rans_count"] = int(codes.size)
+                    inner.header["rans_shared"] = True
+                    inner.add_section("codes_payload", payload)
+                else:
+                    table = RansFrequencyTable.try_from_frequencies(
+                        symbol_frequencies(codes)
+                    )
+                    if table is None:
+                        # Alphabet too wide for a 12-bit frequency table;
+                        # this block degrades to Huffman (its entropy tag
+                        # records what was written, so it still decodes).
+                        stage = "huffman"
+                    else:
+                        payload = self._rans.encode_with_table(codes, table)
+                        if payload is None:  # pragma: no cover - own table
+                            raise CompressionError(
+                                "rANS escape against the block's own table"
+                            )
+                        codec = "rans"
+                        inner.header["entropy"] = "rans"
+                        inner.header["rans_count"] = int(codes.size)
+                        inner.add_section("codes_payload", payload)
+                        inner.add_section("codes_freqs", table.serialize())
+            if stage == "huffman":
+                payload = None
+                if isinstance(shared_book, HuffmanCodebook):
+                    payload = self._huffman.encode_with_book(codes, shared_book)
+                if payload is not None:
+                    used_shared = True
+                    codec = "huffman"
+                    inner.header["entropy"] = "huffman"
+                    inner.header["huffman_count"] = int(codes.size)
+                    inner.header["huffman_shared"] = True
+                    inner.add_section("codes_payload", payload)
+                else:
+                    payload, codebook, count = self._huffman.encode(codes)
+                    codec = "huffman"
+                    inner.header["entropy"] = "huffman"
+                    inner.header["huffman_count"] = count
+                    inner.add_section("codes_payload", payload)
+                    inner.add_section("codes_codebook", codebook)
             if self.collect_stage_timings:
                 self._stage_events.append(("entropy_s", time.perf_counter() - start))
         else:
@@ -1068,7 +1278,7 @@ class PredictionPipelineCompressor(Compressor):
         inner.header["aux_names"] = sorted(encoding.aux)
         for aux_name in sorted(encoding.aux):
             inner.add_array(f"aux_{aux_name}", np.asarray(encoding.aux[aux_name]))
-        return inner.to_bytes(), used_shared
+        return inner.to_bytes(), used_shared, codec
 
     def _deserialize_encoding(
         self, inner: SectionContainer, shared_codebook: Optional[bytes] = None
@@ -1076,7 +1286,26 @@ class PredictionPipelineCompressor(Compressor):
         header = inner.header
         meta = header.get("predictor_meta", {})
         num_codes = int(header.get("num_codes", 0))
-        if int(header.get("huffman_count", -1)) >= 0:
+        # Dispatch on the codec the section was written with, not on this
+        # pipeline's configuration — mixed-codec blobs and readers with a
+        # different configured stage both decode correctly.  Pre-rANS
+        # blobs carry no ``entropy`` key, only ``huffman_count``.
+        entropy = header.get("entropy")
+        if entropy is None and int(header.get("huffman_count", -1)) >= 0:
+            entropy = "huffman"
+        if entropy == "rans":
+            payload = inner.get_section("codes_payload")
+            if header.get("rans_shared"):
+                if shared_codebook is None:
+                    raise CompressionError(
+                        "block was encoded with a shared frequency table, "
+                        "but the blob header carries none"
+                    )
+                table_bytes = shared_codebook
+            else:
+                table_bytes = inner.get_section("codes_freqs")
+            codes = self._rans.decode(payload, table_bytes, int(header["rans_count"]))
+        elif entropy == "huffman":
             payload = inner.get_section("codes_payload")
             if header.get("huffman_shared"):
                 if shared_codebook is None:

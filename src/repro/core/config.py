@@ -36,6 +36,10 @@ VALID_CACHE_MODES: Tuple[str, ...] = ("off", "read", "readwrite")
 #: weighted fair queueing applies among tenants *within* a class.
 VALID_PRIORITIES: Tuple[str, ...] = ("low", "normal", "high")
 
+#: Entropy-stage overrides accepted by ``entropy_stage`` / ``--entropy``
+#: (``None`` keeps each compressor's registered default).
+VALID_ENTROPY_STAGES: Tuple[str, ...] = ("huffman", "rans", "none")
+
 
 @dataclass
 class OcelotConfig:
@@ -74,11 +78,18 @@ class OcelotConfig:
             GIL, falling back to threads when a pool cannot start.
         adaptive_predictor: per-block SZ3-style predictor selection (try
             Lorenzo vs. interpolation per block, keep the smaller).
-        shared_codebook: in blocked Huffman mode, build one entropy
-            codebook per file (pooled across blocks) and store it once in
-            the blob header instead of once per block; blocks whose
-            alphabet escapes the shared book fall back to per-block
-            codebooks automatically.
+        entropy_stage: entropy codec override for pipeline compressors —
+            ``huffman``, ``rans`` (interleaved range ANS) or ``none``
+            (bypass).  ``None`` keeps each pipeline's registered default.
+            In adaptive blocked mode with per-block codebooks the codec
+            is additionally chosen per block (learned policy or
+            size-estimate heuristic), recorded per section so mixed
+            blobs decode anywhere.
+        shared_codebook: in blocked entropy-coded mode, build one entropy
+            model per file (a Huffman codebook or rANS frequency table,
+            pooled across blocks) and store it once in the blob header
+            instead of once per block; blocks whose alphabet escapes the
+            shared model fall back to per-block models automatically.
         transfer_mode: ``bulk`` keeps the phase-serialised baseline;
             ``streamed`` ships each block as it finishes encoding and
             decodes blocks as they arrive (compressed mode only).
@@ -127,6 +138,7 @@ class OcelotConfig:
     block_workers: int = 1
     worker_backend: str = "thread"
     adaptive_predictor: bool = False
+    entropy_stage: Optional[str] = None
     shared_codebook: bool = True
     transfer_mode: str = "bulk"
     stream_window: int = 8
@@ -170,6 +182,11 @@ class OcelotConfig:
             raise ConfigurationError(
                 "adaptive_predictor requires block_size (per-block selection "
                 "only applies in blocked mode)"
+            )
+        if self.entropy_stage is not None and self.entropy_stage not in VALID_ENTROPY_STAGES:
+            raise ConfigurationError(
+                f"entropy_stage must be one of {VALID_ENTROPY_STAGES} (or None "
+                f"for the compressor's default), got {self.entropy_stage!r}"
             )
         if self.transfer_mode not in VALID_TRANSFER_MODES:
             raise ConfigurationError(

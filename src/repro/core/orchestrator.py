@@ -78,6 +78,12 @@ class _CompressionOutcome:
     per_file_times_s: List[float] = field(default_factory=list)
     per_file_output_bytes: List[int] = field(default_factory=list)
     original_bytes: int = 0
+    #: Distinct entropy stages stamped into the freshly compressed blobs'
+    #: metadata (insertion-ordered), and the per-codec block counts
+    #: aggregated across those blobs — what ``ocelot inspect`` shows per
+    #: blob, summed per job for the completed-job event.
+    entropy_stages: List[str] = field(default_factory=list)
+    block_codecs: Dict[str, int] = field(default_factory=dict)
 
     @property
     def compressed_bytes(self) -> int:
@@ -121,6 +127,9 @@ class OcelotOrchestrator:
         self.blob_cache = build_blob_cache(config)
         self._block_policy = None
         self._block_policy_loaded = False
+        #: Memoised ``(entropy_stage, lossless_backend)`` per compressor
+        #: name — the codec fields of the blob-cache fingerprint.
+        self._codec_stages: Dict[str, Tuple[str, str]] = {}
         #: Suffix appended to the dataset name in every simulated-filesystem
         #: path this run touches (staged files, compressed blobs, groups,
         #: reconstructions).  Empty for the classic exclusive-testbed path;
@@ -660,6 +669,8 @@ class OcelotOrchestrator:
             notes=notes,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            entropy_stage=",".join(outcome.entropy_stages),
+            block_codecs=dict(outcome.block_codecs) or None,
         )
         return report
 
@@ -756,7 +767,25 @@ class OcelotOrchestrator:
             shared_codebook=self.config.shared_codebook,
             block_cache=self.blob_cache,
             block_cache_tag=self.config.block_policy_path or "",
+            entropy_stage=self.config.entropy_stage,
         )
+
+    def _codec_stage_names(self, compressor: str) -> Tuple[str, str]:
+        """Effective ``(entropy_stage, lossless_backend)`` of a compressor.
+
+        The configured ``entropy_stage`` override may be ``None`` (keep
+        the registry default), so the stage that actually runs is only
+        knowable from an instance; it is resolved once per name.
+        """
+        cached = self._codec_stages.get(compressor)
+        if cached is None:
+            instance = self._build_compressor(compressor)
+            cached = (
+                str(getattr(getattr(instance, "config", None), "entropy_stage", "none")),
+                str(getattr(getattr(instance, "_lossless", None), "name", "")),
+            )
+            self._codec_stages[compressor] = cached
+        return cached
 
     def _cache_fingerprint(self, compressor: str, error_bound_abs: float) -> Dict[str, Any]:
         """Pipeline fingerprint of this run for blob-cache keys.
@@ -764,8 +793,11 @@ class OcelotOrchestrator:
         Everything that changes the compressed bytes participates, so two
         jobs share an entry only when compressing would produce the same
         output: compressor, resolved absolute bound, block size, codebook
-        mode, adaptive selection and the learned block policy.
+        mode, adaptive selection, the learned block policy, and the
+        entropy/lossless codecs (``sz3`` with ``entropy_stage="huffman"``
+        vs ``"none"`` produces different bytes under the same name).
         """
+        entropy_stage, lossless_backend = self._codec_stage_names(compressor)
         return pipeline_fingerprint(
             compressor=compressor,
             error_bound_abs=error_bound_abs,
@@ -773,6 +805,7 @@ class OcelotOrchestrator:
             codebook_mode="shared" if self.config.shared_codebook else "per-block",
             adaptive_predictor=self.config.adaptive_predictor,
             block_policy=self.config.block_policy_path or "",
+            extra={"entropy": entropy_stage, "lossless": lossless_backend},
         )
 
     def _consult_blob_cache(
@@ -832,6 +865,11 @@ class OcelotOrchestrator:
             if probe is not None:
                 result.blob.metadata["content_digest"] = probe.digest
                 result.blob.metadata["cache_key"] = probe.key
+            stage = result.blob.metadata.get("entropy_stage")
+            if stage and stage not in outcome.entropy_stages:
+                outcome.entropy_stages.append(str(stage))
+            for codec, count in (result.blob.metadata.get("block_codecs") or {}).items():
+                outcome.block_codecs[codec] = outcome.block_codecs.get(codec, 0) + int(count)
             payload = result.blob.to_bytes()
             if probe is not None and self.blob_cache is not None and self.blob_cache.writable:
                 self.blob_cache.put_blob(

@@ -86,6 +86,13 @@ class TransferReport:
     #: cache is off, which keeps ``cache_hit_rate`` ``None``.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Entropy stage(s) stamped into the produced blobs' metadata
+    #: (comma-joined when a job mixes compressors), and the per-codec
+    #: block counts aggregated across the job's blocked blobs — e.g.
+    #: ``{"huffman": 12, "rans": 52}`` when the per-block codec choice
+    #: split a file.  Empty/None for direct transfers and older blobs.
+    entropy_stage: str = ""
+    block_codecs: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -153,6 +160,8 @@ class TransferReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "entropy_stage": self.entropy_stage,
+            "block_codecs": dict(self.block_codecs) if self.block_codecs else None,
             "notes": list(self.notes),
         }
 
@@ -188,6 +197,15 @@ class TransferReport:
             )
         if self.measured_psnr_db is not None:
             lines.append(f"  quality: PSNR {self.measured_psnr_db:.1f} dB")
+        if self.entropy_stage:
+            line = f"  entropy: {self.entropy_stage}"
+            if self.block_codecs:
+                split = ", ".join(
+                    f"{codec}: {self.block_codecs[codec]}"
+                    for codec in sorted(self.block_codecs)
+                )
+                line += f" (blocks by codec: {split})"
+            lines.append(line)
         return "\n".join(lines)
 
 

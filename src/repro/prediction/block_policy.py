@@ -40,18 +40,38 @@ __all__ = ["BlockPolicySample", "BlockPolicy", "build_block_policy_samples", "tr
 #: same pair brute-force adaptive selection tries per block.
 DEFAULT_CANDIDATES: Tuple[str, ...] = ("lorenzo", "interpolation")
 
+#: Entropy codecs the policy can arbitrate between per block.  These are
+#: the coded values of ``PipelineConfig.entropy_stage`` ("none" is not a
+#: candidate: skipping entropy coding is a pipeline-level choice, not a
+#: per-block one).
+ENTROPY_CANDIDATES: Tuple[str, ...] = ("huffman", "rans")
+
 
 @dataclass
 class BlockPolicySample:
-    """One training sample: a block's features and each candidate's size."""
+    """One training sample: a block's features and each candidate's size.
+
+    ``sizes`` maps candidate *predictors* to the block's true encoded
+    size.  ``entropy_sizes`` (optional) maps candidate *entropy codecs*
+    to the size of the same block encoded with its best predictor but
+    the given entropy stage — the label for the per-block codec choice.
+    """
 
     features: FeatureVector
     sizes: Dict[str, int] = field(default_factory=dict)
+    entropy_sizes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def best_predictor(self) -> str:
         """The candidate that actually encoded this block smallest."""
         return min(self.sizes, key=self.sizes.get)
+
+    @property
+    def best_entropy(self) -> Optional[str]:
+        """The entropy codec that encoded this block smallest (if labelled)."""
+        if not self.entropy_sizes:
+            return None
+        return min(self.entropy_sizes, key=self.entropy_sizes.get)
 
 
 class BlockPolicy:
@@ -77,6 +97,7 @@ class BlockPolicy:
         self.extractor = extractor or FeatureExtractor(sample_fraction=1.0)
         self.max_depth = int(max_depth)
         self._models: Dict[str, DecisionTreeRegressor] = {}
+        self._entropy_models: Dict[str, DecisionTreeRegressor] = {}
         self.training_samples: int = 0
 
     # ------------------------------------------------------------------ #
@@ -85,17 +106,45 @@ class BlockPolicy:
         """Whether every candidate has a trained size model."""
         return bool(self._models) and set(self._models) == set(self.candidates)
 
+    @property
+    def chooses_entropy(self) -> bool:
+        """Whether this policy also carries per-block entropy codec models.
+
+        Policies trained (or saved) before the rANS stage existed return
+        ``False`` here, and the pipeline falls back to its size-estimate
+        heuristic for the codec choice.
+        """
+        return len(self._entropy_models) >= 2
+
     def fit(self, samples: Iterable[BlockPolicySample]) -> "BlockPolicy":
-        """Train the per-candidate size models from labelled samples."""
+        """Train the per-candidate size models from labelled samples.
+
+        Samples that also carry ``entropy_sizes`` train the per-codec
+        entropy models as a side effect; the entropy models are only kept
+        when every labelled codec has the same sample rows (so the size
+        predictions stay comparable).
+        """
         rows: List[np.ndarray] = []
         targets: Dict[str, List[float]] = {name: [] for name in self.candidates}
+        entropy_rows: List[np.ndarray] = []
+        entropy_targets: Dict[str, List[float]] = {}
         for sample in samples:
             missing = [name for name in self.candidates if name not in sample.sizes]
             if missing:
                 raise ValueError(f"sample is missing candidate sizes for {missing}")
-            rows.append(sample.features.to_array())
+            row = sample.features.to_array()
+            rows.append(row)
             for name in self.candidates:
                 targets[name].append(float(np.log1p(sample.sizes[name])))
+            if sample.entropy_sizes:
+                if not entropy_targets:
+                    entropy_targets = {codec: [] for codec in sorted(sample.entropy_sizes)}
+                if set(sample.entropy_sizes) == set(entropy_targets):
+                    entropy_rows.append(row)
+                    for codec in entropy_targets:
+                        entropy_targets[codec].append(
+                            float(np.log1p(sample.entropy_sizes[codec]))
+                        )
         if not rows:
             raise ModelNotFittedError("cannot fit a block policy on zero samples")
         X = np.vstack(rows)
@@ -103,6 +152,15 @@ class BlockPolicy:
             model = DecisionTreeRegressor(max_depth=self.max_depth, min_samples_leaf=1)
             model.fit(X, np.asarray(targets[name]))
             self._models[name] = model
+        self._entropy_models = {}
+        if entropy_rows and len(entropy_targets) >= 2:
+            Xe = np.vstack(entropy_rows)
+            for codec in entropy_targets:
+                model = DecisionTreeRegressor(
+                    max_depth=self.max_depth, min_samples_leaf=1
+                )
+                model.fit(Xe, np.asarray(entropy_targets[codec]))
+                self._entropy_models[codec] = model
         self.training_samples = len(rows)
         return self
 
@@ -137,6 +195,36 @@ class BlockPolicy:
         return self.choose(features)
 
     # ------------------------------------------------------------------ #
+    def predicted_entropy_sizes(self, features: FeatureVector) -> Dict[str, float]:
+        """Predicted encoded size (bytes) per entropy codec for one block."""
+        if not self.chooses_entropy:
+            raise ModelNotFittedError("block policy has no entropy codec models")
+        row = features.to_array().reshape(1, -1)
+        return {
+            codec: float(np.expm1(model.predict(row)[0]))
+            for codec, model in self._entropy_models.items()
+        }
+
+    def choose_entropy(self, features: FeatureVector) -> str:
+        """The entropy codec predicted to encode this block smallest."""
+        sizes = self.predicted_entropy_sizes(features)
+        return min(sizes, key=sizes.get)
+
+    def choose_entropy_for_block(
+        self, block: np.ndarray, error_bound_abs: float, compressor: str = "sz3"
+    ) -> str:
+        """Extract the block's features and pick its entropy codec.
+
+        The pipeline calls this per block (when ``chooses_entropy`` is
+        true) to tag each block section with the codec predicted to
+        encode it smallest.
+        """
+        features = self.extractor.extract_features(
+            np.asarray(block), error_bound_abs, compressor=compressor
+        )
+        return self.choose_entropy(features)
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, Path]) -> Path:
@@ -149,6 +237,11 @@ class BlockPolicy:
             "training_samples": self.training_samples,
             "models": {name: model_to_dict(self._models[name]) for name in self.candidates},
         }
+        if self._entropy_models:
+            payload["entropy_models"] = {
+                codec: model_to_dict(model)
+                for codec, model in self._entropy_models.items()
+            }
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(payload), encoding="utf-8")
@@ -165,6 +258,12 @@ class BlockPolicy:
         policy._models = {
             name: model_from_dict(model_payload)
             for name, model_payload in payload["models"].items()
+        }
+        # Policies saved before the entropy stage landed have no codec
+        # models; loading them leaves ``chooses_entropy`` False.
+        policy._entropy_models = {
+            codec: model_from_dict(model_payload)
+            for codec, model_payload in payload.get("entropy_models", {}).items()
         }
         policy.training_samples = int(payload.get("training_samples", 0))
         return policy
@@ -187,6 +286,7 @@ def build_block_policy_samples(
     block_shape: BlockShapeLike = 32,
     candidates: Sequence[str] = DEFAULT_CANDIDATES,
     extractor: Optional[FeatureExtractor] = None,
+    entropy_candidates: Sequence[str] = ENTROPY_CANDIDATES,
 ) -> List[BlockPolicySample]:
     """Label training samples by really encoding blocks with each candidate.
 
@@ -198,6 +298,12 @@ def build_block_policy_samples(
     shared by every array) or an :class:`ErrorBound`, which is resolved
     per array — matching how the orchestrator resolves the bound per file
     at inference time.
+
+    When ``entropy_candidates`` names at least two codecs, each block is
+    additionally re-encoded with its best predictor under every candidate
+    entropy stage, labelling the per-block codec choice.  Pass an empty
+    sequence to skip those extra encodes and train a predictor-only
+    policy.
     """
     pipeline = create_compressor(compressor)
     if not hasattr(pipeline, "measure_block_encoding"):
@@ -221,8 +327,21 @@ def build_block_policy_samples(
                 name: pipeline.measure_block_encoding(block, eb_abs, predictor)
                 for name, predictor in predictors.items()
             }
+            entropy_sizes: Dict[str, int] = {}
+            if len(entropy_candidates) >= 2:
+                best = min(sizes, key=sizes.get)
+                entropy_sizes = {
+                    codec: pipeline.measure_block_encoding(
+                        block, eb_abs, predictors[best], entropy_stage=codec
+                    )
+                    for codec in entropy_candidates
+                }
             samples.append(
-                BlockPolicySample(features=block_features.features, sizes=sizes)
+                BlockPolicySample(
+                    features=block_features.features,
+                    sizes=sizes,
+                    entropy_sizes=entropy_sizes,
+                )
             )
     return samples
 
@@ -257,4 +376,14 @@ def train_block_policy(
         "agreement": agree / len(samples) if samples else 0.0,
         "training_time_s": time.perf_counter() - start,
     }
+    if policy.chooses_entropy:
+        labelled = [sample for sample in samples if sample.entropy_sizes]
+        entropy_agree = sum(
+            1
+            for sample in labelled
+            if policy.choose_entropy(sample.features) == sample.best_entropy
+        )
+        summary["entropy_agreement"] = (
+            entropy_agree / len(labelled) if labelled else 0.0
+        )
     return policy, summary

@@ -550,6 +550,8 @@ class JobScheduler:
                 "total_s": getattr(report, "total_s", None),
                 "compression_ratio": getattr(report, "compression_ratio", None),
                 "cache_hit_rate": getattr(report, "cache_hit_rate", None),
+                "entropy_stage": getattr(report, "entropy_stage", "") or None,
+                "block_codecs": getattr(report, "block_codecs", None),
             },
         )
 

@@ -142,6 +142,9 @@ class TestKeySeparation:
             {"block_size": 16},
             {"shared_codebook": False},
             {"compressor": "sz3"},
+            # sz3-fast's registry default is entropy_stage="none"; forcing
+            # huffman changes the bytes, so it must also change the key.
+            {"entropy_stage": "huffman"},
         ],
     )
     def test_differing_pipelines_never_share_entries(self, tmp_path, override):
@@ -155,6 +158,25 @@ class TestKeySeparation:
         )
         assert changed.cache_hits == 0
         assert changed.cache_misses == dataset.file_count
+
+    def test_fingerprint_tracks_effective_entropy_and_lossless(self, tmp_path):
+        """Regression: the cache fingerprint once ignored the entropy
+        stage and lossless backend, so ``sz3`` with ``huffman`` and
+        ``none`` outputs (different bytes) shared cache entries.  The
+        stage must be the *effective* one — a ``None`` override keeps the
+        registry default, e.g. ``none`` for sz3-fast."""
+        default = Ocelot(_config(tmp_path))._orchestrator()
+        assert default._codec_stage_names("sz3-fast") == ("none", "deflate")
+        fingerprints = [
+            default._cache_fingerprint("sz3-fast", 1e-3),
+            Ocelot(_config(tmp_path, entropy_stage="rans"))
+            ._orchestrator()
+            ._cache_fingerprint("sz3-fast", 1e-3),
+            Ocelot(_config(tmp_path, entropy_stage="huffman"))
+            ._orchestrator()
+            ._cache_fingerprint("sz3-fast", 1e-3),
+        ]
+        assert len({str(fp) for fp in fingerprints}) == 3
 
     def test_differing_data_never_shares_entries(self, tmp_path):
         Ocelot(_config(tmp_path)).transfer_dataset(

@@ -119,13 +119,15 @@ class TestCommands:
         assert len(payload["blocks"]) == payload["num_blocks"] == result.blob.num_blocks
         first = payload["blocks"][0]
         assert set(first) == {
-            "id", "origin", "shape", "predictor", "codebook", "section", "section_bytes",
-            "alias_of",
+            "id", "origin", "shape", "predictor", "entropy", "codebook", "section",
+            "section_bytes", "alias_of",
         }
         assert first["section_bytes"] > 0
         assert first["alias_of"] is None
         # sz3-fast runs no entropy stage, so there is no codebook to report.
         assert payload["codebook"]["mode"] == "none"
+        assert payload["entropy_stage"] == "none"
+        assert payload["block_codecs"] == {"none": payload["num_blocks"]}
 
     def test_inspect_whole_array_blob(self, tmp_path, capsys):
         from repro.compression import ErrorBound, create_compressor

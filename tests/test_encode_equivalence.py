@@ -111,7 +111,13 @@ class TestLZ77Equivalence:
         assert codec.decode(codec.encode_bytewise(data)) == data
 
 
-def _compress_blob_bytes(backend: str, shared: bool, adaptive: bool = False) -> bytes:
+def _compress_blob_bytes(
+    backend: str,
+    shared: bool,
+    adaptive: bool = False,
+    entropy: str = None,
+    block_policy=None,
+) -> bytes:
     rng = np.random.default_rng(7)
     data = np.cumsum(rng.normal(size=(48, 48)), axis=1).astype(np.float64)
     executor = ParallelExecutor(block_workers=2, worker_backend=backend)
@@ -121,6 +127,8 @@ def _compress_blob_bytes(backend: str, shared: bool, adaptive: bool = False) -> 
         block_executor=executor.map_blocks,
         adaptive_predictor=adaptive,
         shared_codebook=shared,
+        entropy_stage=entropy,
+        block_policy=block_policy,
     )
     result = compressor.compress(data, ErrorBound.relative(1e-3))
     recon = compressor.decompress(result.blob)
@@ -189,3 +197,101 @@ class TestProcessPoolEquivalence:
 
 def _offset_item(payload, item):
     return payload["base"] + item
+
+
+class TestEntropyStageEquivalence:
+    """The rANS stage must not perturb the blob-determinism contract.
+
+    Thread and process backends produce byte-identical blobs under every
+    entropy stage; per-block codec selection (heuristic and learned) is
+    equally deterministic; and any reader decodes any stage because the
+    codec rides in each block's section tags, not in reader config.
+    """
+
+    @pytest.mark.parametrize("shared", [True, False], ids=["shared", "per-block"])
+    @pytest.mark.parametrize("entropy", ["huffman", "rans", "none"])
+    def test_thread_process_byte_identical_per_stage(self, entropy, shared):
+        assert _compress_blob_bytes(
+            "process", shared, entropy=entropy
+        ) == _compress_blob_bytes("thread", shared, entropy=entropy)
+
+    @pytest.mark.parametrize("entropy", ["huffman", "rans"])
+    def test_heuristic_mixed_codec_byte_identical(self, entropy):
+        """Adaptive mode turns on the per-block codec heuristic, so a
+        single blob can mix huffman and rans sections; workers must make
+        the same choices the thread path does."""
+        assert _compress_blob_bytes(
+            "process", shared=False, adaptive=True, entropy=entropy
+        ) == _compress_blob_bytes("thread", shared=False, adaptive=True, entropy=entropy)
+
+    def test_policy_chosen_codecs_byte_identical(self):
+        from repro.compression import CompressedBlob
+        from repro.prediction.block_policy import train_block_policy
+
+        rng = np.random.default_rng(5)
+        smooth = np.add.outer(
+            np.sin(np.linspace(0, 6, 48)), np.cos(np.linspace(0, 4, 48))
+        ).astype(np.float64)
+        noisy = (smooth + rng.normal(0, 0.3, smooth.shape)).astype(np.float64)
+        policy, _ = train_block_policy(
+            [smooth, noisy], 1e-3, compressor="sz3", block_shape=16
+        )
+        assert policy.chooses_entropy
+        blobs = {
+            backend: _compress_blob_bytes(
+                backend, shared=False, adaptive=True, entropy="rans", block_policy=policy
+            )
+            for backend in ("thread", "process")
+        }
+        assert blobs["thread"] == blobs["process"]
+        # The policy-tagged blob must decode exactly on a policy-less reader.
+        reader = create_blocked_compressor("sz3")
+        recon = reader.decompress(CompressedBlob.from_bytes(blobs["thread"]))
+        assert np.isfinite(recon).all()
+
+    @pytest.mark.parametrize("entropy", ["huffman", "rans", "none"])
+    def test_default_reader_decodes_any_stage(self, entropy):
+        """Decode dispatches on the codec stored per section, so a
+        default-config (huffman) reader handles every stage's blobs."""
+        from repro.compression import CompressedBlob
+
+        rng = np.random.default_rng(9)
+        data = np.cumsum(rng.normal(size=(40, 40)), axis=0).astype(np.float32)
+        writer = create_blocked_compressor("sz3", block_shape=16, entropy_stage=entropy)
+        blob = writer.compress(data, ErrorBound(value=1e-3, mode="abs")).blob
+        reader = create_blocked_compressor("sz3")
+        recon = reader.decompress(CompressedBlob.from_bytes(blob.to_bytes()))
+        assert float(np.max(np.abs(recon.astype(np.float64) - data))) <= 1e-3 * (1 + 1e-9)
+
+
+class TestEntropyStageRoundTrip:
+    """Every registry pipeline round-trips under every entropy stage."""
+
+    @_SETTINGS
+    @given(
+        entropy=st.sampled_from(["huffman", "rans", "none"]),
+        name=st.sampled_from(
+            ["sz3", "sz3-linear", "sz2", "sz-lorenzo", "zfp-like", "sz3-fast"]
+        ),
+        backend=st.sampled_from(["thread", "process"]),
+        seed=st.integers(0, 1000),
+    )
+    def test_every_pipeline_round_trips_under_every_stage(
+        self, entropy, name, backend, seed
+    ):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=(24, 24)), axis=0).astype(np.float32)
+        executor = ParallelExecutor(block_workers=2, worker_backend=backend)
+        compressor = create_blocked_compressor(
+            name,
+            block_shape=12,
+            block_executor=executor.map_blocks,
+            entropy_stage=entropy,
+        )
+        bound = ErrorBound(value=1e-3, mode="abs")
+        recon = compressor.decompress(compressor.compress(data, bound).blob)
+        slack = 1e-3 * (1 + 1e-9) + np.finfo(np.float32).eps * float(
+            np.max(np.abs(data))
+        )
+        assert recon.shape == data.shape
+        assert float(np.max(np.abs(recon.astype(np.float64) - data))) <= slack

@@ -184,6 +184,11 @@ class TestJobLifecycle:
             e for e in events if e.kind == "phase_finished" and e.phase == "transfer"
         )
         assert transfer_done.detail["bytes_shipped"] > 0
+        # The completion event surfaces the codec stack that produced the
+        # blobs (sz3-fast runs no entropy stage).
+        completed = events[-1]
+        assert completed.detail["entropy_stage"] == "none"
+        assert completed.detail["block_codecs"] is None
         # Event times never move backwards.
         times = [event.time_s for event in events]
         assert times == sorted(times)
