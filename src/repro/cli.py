@@ -17,9 +17,12 @@ Subcommands mirror the user-facing capabilities of the paper:
 * ``ocelot submit`` — submit one or many datasets as concurrent jobs to
   the multi-tenant job service, print per-job makespans and the
   combined makespan, and persist the job records to a state file.
-* ``ocelot jobs`` — list jobs recorded in the state file.
+* ``ocelot jobs`` — list jobs recorded in the state file, or — with
+  ``--url`` — the live jobs of a running gateway.
 * ``ocelot status <job>`` — show one job's record, including its
-  structured event feed.
+  structured event feed; exits non-zero when the job FAILED.
+* ``ocelot serve`` — run the HTTP gateway (REST job control, plan
+  groups, SSE event streams) in the foreground.
 * ``ocelot cache stats|clear`` — inspect or empty the content-addressed
   blob/block cache that ``--cache-dir`` transfers populate.
 """
@@ -219,12 +222,34 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH")
     jobs.add_argument("--tenant", default=None, metavar="NAME",
                       help="only list jobs of this tenant")
+    jobs.add_argument("--url", default=None, metavar="URL",
+                      help="query a running gateway (e.g. http://host:8080) "
+                           "instead of the local state file")
     jobs.add_argument("--json", action="store_true")
 
     status = sub.add_parser("status", help="show one recorded job (with events)")
     status.add_argument("job", help="job id, e.g. job-0001")
     status.add_argument("--state", default=".ocelot-jobs.json", metavar="PATH")
+    status.add_argument("--url", default=None, metavar="URL",
+                        help="query a running gateway instead of the state file")
     status.add_argument("--json", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP gateway: REST job control + SSE event streams",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--mode", default="compressed",
+                       choices=["direct", "compressed", "grouped"],
+                       help="default transfer mode for submitted jobs")
+    serve.add_argument("--compressor", default="sz3-fast", choices=available_compressors())
+    serve.add_argument("--error-bound", type=float, default=1e-3)
+    serve.add_argument("--size-scale", type=float, default=1.0)
+    serve.add_argument("--compression-nodes", type=_positive_int, default=4)
+    serve.add_argument("--decompression-nodes", type=_positive_int, default=4)
+    _add_cache_arguments(serve)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the content-addressed blob/block cache"
@@ -746,8 +771,38 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_gateway_json(url: str) -> tuple:
+    """GET a gateway route; returns ``(payload, error_message)``."""
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=30) as response:
+            return json.load(response), None
+    except HTTPError as exc:
+        try:
+            payload = json.load(exc)
+            return None, f"{payload.get('error', exc)} (code {payload.get('code')})"
+        except (ValueError, OSError):
+            return None, str(exc)
+    except (URLError, OSError) as exc:
+        return None, f"cannot reach gateway at {url}: {exc}"
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    state = _load_job_state(args.state)
+    if args.url:
+        route = f"{args.url.rstrip('/')}/v1/jobs"
+        if args.tenant:
+            from urllib.parse import quote
+
+            route += f"?tenant={quote(args.tenant)}"
+        payload, error = _fetch_gateway_json(route)
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+        state = {"jobs": payload["jobs"]}
+    else:
+        state = _load_job_state(args.state)
     records = state["jobs"]
     if args.tenant:
         records = [
@@ -777,16 +832,29 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    state = _load_job_state(args.state)
-    record = next((r for r in state["jobs"] if r["job_id"] == args.job), None)
-    if record is None:
-        print(f"unknown job {args.job!r}; recorded jobs: "
-              f"{[r['job_id'] for r in state['jobs']]}", file=sys.stderr)
-        return 1
+    if args.url:
+        from urllib.parse import quote
+
+        record, error = _fetch_gateway_json(
+            f"{args.url.rstrip('/')}/v1/jobs/{quote(args.job)}"
+        )
+        if error:
+            print(error, file=sys.stderr)
+            return 1
+    else:
+        state = _load_job_state(args.state)
+        record = next((r for r in state["jobs"] if r["job_id"] == args.job), None)
+        if record is None:
+            print(f"unknown job {args.job!r}; recorded jobs: "
+                  f"{[r['job_id'] for r in state['jobs']]}", file=sys.stderr)
+            return 1
+    # Machine-friendly contract: a FAILED job makes `ocelot status` exit
+    # non-zero, so scripts can gate on it without parsing output.
+    exit_code = 2 if record.get("status") == "failed" else 0
     if args.json:
         json.dump(record, sys.stdout, indent=2)
         print()
-        return 0
+        return exit_code
     print(_job_row(record))
     report = record.get("report")
     if report:
@@ -804,6 +872,33 @@ def _cmd_status(args: argparse.Namespace) -> int:
     for event in record.get("events", []):
         phase = f" {event['phase']}" if event.get("phase") else ""
         print(f"    [{event['time_s']:10.2f}s] {event['kind']}{phase}")
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .gateway import create_gateway
+
+    config = OcelotConfig(
+        error_bound=args.error_bound,
+        compressor=args.compressor,
+        mode=args.mode,
+        size_scale=args.size_scale,
+        compression_nodes=args.compression_nodes,
+        decompression_nodes=args.decompression_nodes,
+        sentinel_enabled=False,
+        **_cache_config_kwargs(args),
+    )
+    gateway = create_gateway(config=config, host=args.host, port=args.port)
+    print(f"ocelot gateway listening on {gateway.url}", flush=True)
+    print("routes: POST /v1/jobs | GET /v1/jobs[?tenant=] | GET /v1/jobs/{id} "
+          "| GET /v1/jobs/{id}/wait | POST /v1/jobs/{id}/cancel "
+          "| POST /v1/plan-groups | GET /v1/plan-groups/{id} "
+          "| GET /v1/jobs/{id}/events (SSE) | GET /healthz | GET /metricsz",
+          flush=True)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -845,6 +940,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "status": _cmd_status,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
 }
 
@@ -858,7 +954,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "block_policy", None) and not getattr(args, "adaptive_predictor", False):
         if args.command in ("compress", "transfer"):
             parser.error("--block-policy requires --adaptive-predictor")
-    if args.command in ("transfer", "submit"):
+    if args.command in ("transfer", "submit", "serve"):
         if args.cache_mode not in (None, "off") and not args.cache_dir:
             parser.error("--cache-mode requires --cache-dir")
     handler = _COMMANDS[args.command]

@@ -2,25 +2,49 @@
 
 All library-specific exceptions derive from :class:`ReproError` so callers
 can catch a single base class at API boundaries.
+
+Every class carries a machine-readable ``code`` (a stable snake_case
+identifier) so service boundaries — the HTTP gateway in particular —
+can serialise failures without string-matching messages: the gateway
+maps :class:`AdmissionError` to HTTP 429 and every other
+request-validation failure to HTTP 400, and puts ``exc.code`` in the
+JSON error body either way.  Messages may be reworded freely; codes are
+a compatibility surface.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Stable machine-readable identifier serialised at service
+    #: boundaries (subclasses override).
+    code: str = "internal_error"
+
+    def as_payload(self) -> Dict[str, object]:
+        """JSON-friendly form of the error (gateway response body)."""
+        return {"error": str(self), "code": self.code, "type": type(self).__name__}
+
 
 class ConfigurationError(ReproError):
     """Raised when a user-supplied configuration is invalid."""
+
+    code = "invalid_config"
 
 
 class CompressionError(ReproError):
     """Raised when compression or decompression fails."""
 
+    code = "compression_failed"
+
 
 class ErrorBoundViolation(CompressionError):
     """Raised when reconstructed data violate the requested error bound."""
+
+    code = "error_bound_violation"
 
     def __init__(self, max_error: float, bound: float) -> None:
         super().__init__(
@@ -33,53 +57,84 @@ class ErrorBoundViolation(CompressionError):
 class EncodingError(CompressionError):
     """Raised when an entropy/lossless encoder cannot decode its input."""
 
+    code = "encoding_failed"
+
 
 class UnknownCompressorError(ConfigurationError):
     """Raised when a compressor name is not present in the registry."""
+
+    code = "unknown_compressor"
 
 
 class FeatureExtractionError(ReproError):
     """Raised when feature extraction receives unusable input."""
 
+    code = "feature_extraction_failed"
+
 
 class ModelNotFittedError(ReproError):
     """Raised when a prediction is requested from an unfitted model."""
+
+    code = "model_not_fitted"
 
 
 class DatasetError(ReproError):
     """Raised for problems constructing or loading scientific datasets."""
 
+    code = "invalid_dataset"
+
 
 class TransferError(ReproError):
     """Raised when a simulated transfer cannot be carried out."""
+
+    code = "transfer_failed"
 
 
 class EndpointNotFoundError(TransferError):
     """Raised when a transfer references an unknown endpoint."""
 
+    code = "unknown_endpoint"
+
 
 class FileNotFoundOnEndpointError(TransferError):
     """Raised when a source path does not exist on the source endpoint."""
+
+    code = "file_not_found"
 
 
 class FaaSError(ReproError):
     """Raised for failures in the simulated federated FaaS substrate."""
 
+    code = "faas_failed"
+
 
 class FunctionNotRegisteredError(FaaSError):
     """Raised when invoking a function id that was never registered."""
+
+    code = "function_not_registered"
 
 
 class SchedulingError(FaaSError):
     """Raised when the simulated batch scheduler cannot satisfy a request."""
 
+    code = "scheduling_failed"
+
 
 class GroupingError(ReproError):
     """Raised when grouped-archive packing or unpacking fails."""
 
+    code = "grouping_failed"
+
 
 class OrchestrationError(ReproError):
-    """Raised when the Ocelot orchestrator encounters an unrecoverable state."""
+    """Raised when the Ocelot orchestrator encounters an unrecoverable state.
+
+    At the service submit boundary this is the *request validation*
+    error (unknown mode/endpoint/route, empty dataset, bad tenant or
+    priority), which is why its code reads as a client-side rejection.
+    """
+
+    code = "invalid_request"
 
 
 class AdmissionError(OrchestrationError):
@@ -88,5 +143,8 @@ class AdmissionError(OrchestrationError):
     This is the *typed rejection* of admission control: the request can
     never be satisfied under the tenant's resource share (for example a
     single job asking for more compute nodes than the whole share), so
-    it fails at the submit boundary instead of queueing forever.
+    it fails at the submit boundary instead of queueing forever.  The
+    gateway maps it to HTTP 429.
     """
+
+    code = "admission_quota_exceeded"

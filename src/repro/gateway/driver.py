@@ -1,0 +1,351 @@
+"""Thread-safe driver around :class:`~repro.service.api.OcelotService`.
+
+The service layer is cooperative and single-threaded by design: the
+:class:`~repro.service.scheduler.JobScheduler` advances jobs one phase
+per ``step()`` and expects exactly one caller.  An HTTP gateway has
+the opposite shape — many request threads arriving at once — so the
+:class:`GatewayDriver` owns the bridge:
+
+* **one lock** around every touch of the service/scheduler (submission,
+  cancellation, record reads), so request handlers never race the
+  phase machine;
+* **one background thread** that drains the scheduler a single phase
+  step at a time, releasing the lock between steps — status reads and
+  new submissions interleave with a running batch instead of blocking
+  behind it, and when the queue drains the shared simulation clock is
+  advanced to the combined makespan exactly like
+  ``JobScheduler.drain()`` does;
+* after every step the driver publishes newly-emitted
+  :class:`~repro.service.events.JobEvent` records to the
+  :class:`~repro.gateway.bus.EventBus` (each event exactly once, in
+  feed order) and signals per-job completion events that
+  :meth:`wait` blocks on — HTTP handlers never run scheduler code in
+  a request thread.
+
+Plan groups (the batch submit endpoint) also live here: *every* spec of
+a group is validated — including the typed admission check — before
+*any* job is admitted, so a group is all-or-nothing at the boundary and
+then fans out concurrently through the ordinary scheduler interleaving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..service import JobHandle, OcelotService, TransferSpec
+from ..service.events import JobEvent
+from .bus import EventBus
+
+__all__ = ["GatewayDriver", "PlanGroup", "UnknownJobError", "UnknownGroupError"]
+
+_SUMMARY_DROP = ("events", "timeline")
+
+
+class UnknownJobError(KeyError):
+    """Looked up a job id the service has never seen (HTTP 404)."""
+
+
+class UnknownGroupError(KeyError):
+    """Looked up a plan-group id the gateway has never seen (HTTP 404)."""
+
+
+@dataclass
+class PlanGroup:
+    """One batch of jobs admitted atomically by ``POST /v1/plan-groups``."""
+
+    group_id: str
+    label: str
+    job_ids: List[str] = field(default_factory=list)
+    submitted_at: float = 0.0
+
+    def as_dict(self, statuses: Dict[str, str]) -> Dict[str, object]:
+        """JSON record of the group given its jobs' current statuses."""
+        counts: Dict[str, int] = {}
+        for job_id in self.job_ids:
+            status = statuses.get(job_id, "unknown")
+            counts[status] = counts.get(status, 0) + 1
+        terminal = ("completed", "failed", "cancelled")
+        finished = sum(counts.get(status, 0) for status in terminal)
+        if finished < len(self.job_ids):
+            status = "running"
+        elif counts.get("completed", 0) == len(self.job_ids):
+            status = "completed"
+        elif counts.get("completed", 0) == 0:
+            status = "failed"
+        else:
+            status = "partial_failure"
+        return {
+            "group_id": self.group_id,
+            "label": self.label,
+            "status": status,
+            "submitted_at": self.submitted_at,
+            "jobs": list(self.job_ids),
+            "total": len(self.job_ids),
+            "status_counts": counts,
+        }
+
+
+class GatewayDriver:
+    """Serialise a multi-threaded HTTP front end onto the job service."""
+
+    def __init__(self, service: OcelotService, bus: Optional[EventBus] = None,
+                 idle_poll_s: float = 0.02) -> None:
+        self.service = service
+        self.bus = bus or EventBus()
+        self._idle_poll_s = idle_poll_s
+        self._lock = threading.RLock()
+        self._kick = threading.Event()
+        self._stopped = threading.Event()
+        self._paused = False
+        #: Per-job count of events already published to the bus.
+        self._published: Dict[str, int] = {}
+        #: Per-job completion signals for :meth:`wait`.
+        self._done: Dict[str, threading.Event] = {}
+        self._groups: Dict[str, PlanGroup] = {}
+        self._group_counter = itertools.count(1)
+        #: Whether the simulation clock still trails the makespan.
+        self._clock_dirty = False
+        self._started_wall = time.monotonic()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "GatewayDriver":
+        """Launch the background scheduler thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stopped.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="ocelot-gateway-driver", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the scheduler thread and close the bus."""
+        self._stopped.set()
+        self._kick.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.bus.close()
+
+    @property
+    def running(self) -> bool:
+        """Whether the driver accepts work (False after :meth:`stop`)."""
+        return not self._stopped.is_set()
+
+    def pause(self) -> None:
+        """Suspend phase stepping (jobs keep queueing; used by tests)."""
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Resume phase stepping after :meth:`pause`."""
+        with self._lock:
+            self._paused = False
+        self._kick.set()
+
+    def _run(self) -> None:
+        while not self._stopped.is_set():
+            progressed = False
+            with self._lock:
+                if not self._paused:
+                    progressed = self.service.scheduler.step()
+                    if progressed:
+                        self._flush()
+                    elif self._clock_dirty:
+                        # Queue drained: sync the shared clock to the
+                        # combined makespan, as JobScheduler.drain() does.
+                        self.service.testbed.clock.advance_to(
+                            self.service.scheduler.makespan_s
+                        )
+                        self._clock_dirty = False
+            if not progressed:
+                self._kick.wait(timeout=self._idle_poll_s)
+                self._kick.clear()
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing (callers hold the lock)
+    # ------------------------------------------------------------------ #
+    def _flush(self) -> None:
+        """Publish newly-emitted events; signal newly-terminal jobs."""
+        for handle in self.service.jobs():
+            feed = handle.events()
+            seen = self._published.get(handle.job_id, 0)
+            if len(feed) > seen:
+                self.bus.publish_all(feed[seen:])
+                self._published[handle.job_id] = len(feed)
+            if handle.status.is_terminal:
+                done = self._done.get(handle.job_id)
+                if done is not None and not done.is_set():
+                    done.set()
+
+    def _handle(self, job_id: str) -> JobHandle:
+        if self.service.scheduler.get(job_id) is None:
+            raise UnknownJobError(job_id)
+        return self.service.job(job_id)
+
+    # ------------------------------------------------------------------ #
+    # Submission / cancellation
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: TransferSpec) -> Dict[str, object]:
+        """Validate + enqueue one spec; returns the job's summary record."""
+        with self._lock:
+            handle = self.service.submit(spec)
+            self._done[handle.job_id] = threading.Event()
+            self._clock_dirty = True
+            self._flush()
+            record = self._summary(handle)
+        self._kick.set()
+        return record
+
+    def submit_group(self, specs: Sequence[TransferSpec],
+                     label: str = "") -> Dict[str, object]:
+        """Admit a whole plan group atomically, then fan it out.
+
+        Every spec is validated (config overrides, mode, endpoints,
+        route, compressor, dataset, tenant/priority, and the typed
+        admission check) **before any job is admitted** — one bad spec
+        rejects the group with no partial state.  Admitted jobs then
+        interleave through the scheduler like any other batch.
+        """
+        with self._lock:
+            for index, spec in enumerate(specs):
+                try:
+                    job_config = spec.validate(self.service.config, self.service.testbed)
+                    self.service.scheduler.check_admissible(
+                        spec.resolved_tenant(job_config),
+                        max(job_config.compression_nodes,
+                            job_config.decompression_nodes),
+                    )
+                except Exception as exc:
+                    exc.args = (f"plan group spec #{index}: {exc}",)
+                    raise
+            group = PlanGroup(
+                group_id=f"pg-{next(self._group_counter):04d}",
+                label=label,
+                submitted_at=self.service.testbed.clock.now,
+            )
+            for spec in specs:
+                handle = self.service.submit(spec)
+                self._done[handle.job_id] = threading.Event()
+                group.job_ids.append(handle.job_id)
+            self._groups[group.group_id] = group
+            self._clock_dirty = True
+            self._flush()
+            record = group.as_dict(self._statuses(group))
+        self._kick.set()
+        return record
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Cancel one job; the record says whether this call stopped it."""
+        with self._lock:
+            handle = self._handle(job_id)
+            cancelled = handle.cancel()
+            self._flush()
+            record = self._summary(handle)
+            record["cancelled"] = cancelled
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def _summary(self, handle: JobHandle) -> Dict[str, object]:
+        record = handle.as_dict()
+        for key in _SUMMARY_DROP:
+            record.pop(key, None)
+        return record
+
+    def _statuses(self, group: PlanGroup) -> Dict[str, str]:
+        return {
+            job_id: self.service.job(job_id).status.value
+            for job_id in group.job_ids
+            if self.service.scheduler.get(job_id) is not None
+        }
+
+    def record(self, job_id: str, full: bool = False) -> Dict[str, object]:
+        """One job's JSON record (``full`` adds events + timeline)."""
+        with self._lock:
+            handle = self._handle(job_id)
+            return handle.as_dict() if full else self._summary(handle)
+
+    def records(self, tenant: Optional[str] = None) -> List[Dict[str, object]]:
+        """Summary records of every retained job, in submission order."""
+        with self._lock:
+            return [
+                self._summary(handle)
+                for handle in self.service.jobs()
+                if tenant is None or handle.tenant == tenant
+            ]
+
+    def events_since(self, job_id: str, since_seq: int = 0) -> List[JobEvent]:
+        """A job's feed after ``since_seq`` (the SSE replay/backfill path)."""
+        with self._lock:
+            return self._handle(job_id).events(since_seq=since_seq)
+
+    def job_status(self, job_id: str) -> str:
+        """Current lifecycle state of one job."""
+        with self._lock:
+            return self._handle(job_id).status.value
+
+    def group(self, group_id: str) -> Dict[str, object]:
+        """One plan group's record with live per-job status counts."""
+        with self._lock:
+            plan = self._groups.get(group_id)
+            if plan is None:
+                raise UnknownGroupError(group_id)
+            return plan.as_dict(self._statuses(plan))
+
+    def groups(self) -> List[Dict[str, object]]:
+        """All plan groups, in submission order."""
+        with self._lock:
+            return [plan.as_dict(self._statuses(plan))
+                    for plan in self._groups.values()]
+
+    # ------------------------------------------------------------------ #
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> bool:
+        """Block (off-lock) until a job is terminal; False on timeout."""
+        with self._lock:
+            handle = self._handle(job_id)
+            if handle.status.is_terminal:
+                return True
+            done = self._done.setdefault(job_id, threading.Event())
+        return done.wait(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> Dict[str, object]:
+        """The ``/metricsz`` snapshot: queues, tenants, throughput, bus."""
+        with self._lock:
+            scheduler = self.service.scheduler
+            status_counts: Dict[str, int] = {}
+            for handle in self.service.jobs():
+                status = handle.status.value
+                status_counts[status] = status_counts.get(status, 0) + 1
+            completed = status_counts.get("completed", 0)
+            uptime = max(time.monotonic() - self._started_wall, 1e-9)
+            makespan = scheduler.makespan_s
+            admission = scheduler.admission_depths()
+            return {
+                "uptime_s": round(uptime, 3),
+                "jobs": {"total": len(self.service.jobs()), **status_counts},
+                "queue_depths": {
+                    "active": status_counts.get("pending", 0)
+                    + status_counts.get("running", 0),
+                    "admission": admission,
+                    "admission_total": sum(admission.values()),
+                },
+                "tenants": {"in_flight": scheduler.in_flight()},
+                "jobs_per_sec": {
+                    "wall": round(completed / uptime, 4),
+                    "simulated": round(completed / makespan, 4) if makespan > 0 else 0.0,
+                },
+                "makespan_s": makespan,
+                "clock_s": self.service.testbed.clock.now,
+                "plan_groups": len(self._groups),
+                "bus": self.bus.describe(),
+            }

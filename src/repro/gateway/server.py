@@ -1,0 +1,262 @@
+"""The network face of the gateway: stdlib threaded HTTP + SSE.
+
+No web framework ships in this environment, so the server is a
+:class:`http.server.ThreadingHTTPServer` — one OS thread per in-flight
+request, which is exactly the shape the
+:class:`~repro.gateway.driver.GatewayDriver` serialises.  JSON routes
+delegate to :class:`~repro.gateway.app.GatewayAPI`; the one streaming
+route, ``GET /v1/jobs/{id}/events``, is served here because it owns the
+socket for the stream's lifetime.
+
+SSE framing (one frame per :class:`~repro.service.events.JobEvent`)::
+
+    id: <seq>
+    event: <kind>
+    data: <event JSON>
+    <blank line>
+
+The ``id`` is the job's monotonic event ``seq``, so a reconnecting
+client sends the standard ``Last-Event-ID`` header (or ``?since=``) and
+the stream resumes after that event instead of replaying the feed.  The
+live tail comes from a bus subscription; a queue-overflow gap (``seq``
+jumped) is healed by backfilling from the job's authoritative feed.
+Streams close after delivering the job's terminal event.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.config import OcelotConfig
+from ..service import OcelotService, TenantQuota
+from ..service.events import JobEvent
+from .app import GatewayAPI, error_response
+from .bus import CLOSED
+from .driver import GatewayDriver, UnknownJobError
+
+__all__ = ["Gateway", "create_gateway"]
+
+#: How long a live SSE stream waits on its queue between keepalives.
+_SSE_POLL_S = 0.25
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """Threaded server carrying the gateway wiring for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    api: GatewayAPI
+    driver: GatewayDriver
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route HTTP requests into the gateway API (plus the SSE stream)."""
+
+    protocol_version = "HTTP/1.1"
+    server: _GatewayHTTPServer
+
+    # The stdlib handler logs every request to stderr; a gateway under
+    # benchmark load would drown the terminal.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _query(self) -> Tuple[str, Dict[str, List[str]]]:
+        parsed = urlsplit(self.path)
+        return parsed.path, parse_qs(parsed.query)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        path, query = self._query()
+        job_id = self.server.api.sse_job_id("GET", path)
+        if job_id is not None:
+            self._serve_sse(job_id, query)
+            return
+        status, payload = self.server.api.dispatch("GET", path, query, b"")
+        self._send_json(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        path, query = self._query()
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        status, payload = self.server.api.dispatch("POST", path, query, body)
+        self._send_json(status, payload)
+
+    # ------------------------------------------------------------------ #
+    # Server-sent events
+    # ------------------------------------------------------------------ #
+    def _write_event(self, event: JobEvent) -> None:
+        data = json.dumps(event.as_dict(), separators=(",", ":"), default=str)
+        frame = f"id: {event.seq}\nevent: {event.kind}\ndata: {data}\n\n"
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
+
+    def _serve_sse(self, job_id: str, query: Dict[str, List[str]]) -> None:
+        driver = self.server.driver
+        last_raw = self.headers.get("Last-Event-ID") or (
+            query.get("since") or [""])[0]
+        try:
+            last = max(0, int(last_raw)) if last_raw else 0
+        except ValueError:
+            self._send_json(400, {"error": f"bad Last-Event-ID {last_raw!r}",
+                                  "code": "bad_request"})
+            return
+        # Subscribe *before* snapshotting the feed so no event can fall
+        # between replay and live tail; duplicates are filtered by seq.
+        subscription = driver.bus.subscribe(job_id)
+        try:
+            try:
+                replay = driver.events_since(job_id, last)
+            except UnknownJobError as exc:
+                status, payload = error_response(exc)
+                self._send_json(status, payload)
+                return
+            self.server.api.count_request("GET /v1/jobs/{id}/events")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.close_connection = True
+            self.end_headers()
+            for event in replay:
+                self._write_event(event)
+                last = event.seq
+                if event.is_terminal:
+                    return
+            while driver.running:
+                item = subscription.get(timeout=_SSE_POLL_S)
+                if item is CLOSED:
+                    return
+                if item is None:
+                    # Comment frame: keeps proxies and clients from
+                    # timing out an intentionally quiet stream.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                assert isinstance(item, JobEvent)
+                if item.seq <= last:
+                    continue
+                if item.seq > last + 1:
+                    # Bus overflow gap: heal from the authoritative feed.
+                    for event in driver.events_since(job_id, last):
+                        self._write_event(event)
+                        last = event.seq
+                        if event.is_terminal:
+                            return
+                    continue
+                self._write_event(item)
+                last = item.seq
+                if item.is_terminal:
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        finally:
+            subscription.cancel()
+
+
+class Gateway:
+    """One bound HTTP gateway: server + driver + bus, started together."""
+
+    def __init__(
+        self,
+        service: Optional[OcelotService] = None,
+        config: Optional[OcelotConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+    ) -> None:
+        self.service = service or OcelotService(
+            config or OcelotConfig(), quotas=quotas
+        )
+        self.driver = GatewayDriver(self.service)
+        self.api = GatewayAPI(self.driver)
+        self._httpd = _GatewayHTTPServer((host, port), _Handler)
+        self._httpd.api = self.api
+        self._httpd.driver = self.driver
+        self._server_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        """Bound interface."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the OS-assigned one when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running gateway."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def bus(self):
+        """The event bus feeding SSE subscribers."""
+        return self.driver.bus
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "Gateway":
+        """Start the driver thread and the HTTP accept loop."""
+        self.driver.start()
+        if self._server_thread is None or not self._server_thread.is_alive():
+            self._server_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="ocelot-gateway-http",
+                daemon=True,
+            )
+            self._server_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, then stop the scheduler driver."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5.0)
+            self._server_thread = None
+        self.driver.stop()
+
+    def serve_forever(self) -> None:
+        """Run the accept loop in the calling thread (the CLI path)."""
+        self.driver.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._httpd.server_close()
+            self.driver.stop()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def create_gateway(
+    config: Optional[OcelotConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[OcelotService] = None,
+    quotas: Optional[Dict[str, TenantQuota]] = None,
+) -> Gateway:
+    """Build (but do not start) a gateway; ``port=0`` picks a free port."""
+    return Gateway(service=service, config=config, host=host, port=port,
+                   quotas=quotas)

@@ -29,6 +29,10 @@ class JobEvent:
         phase: phase name for phase-scoped events (empty otherwise).
         detail: structured payload (bytes compressed/shipped, file names,
             error text, ...).
+        seq: 1-based monotonic sequence number within the job's feed.
+            Pollers and streaming clients resume from a sequence number
+            (``JobHandle.events(since_seq=...)``, the gateway's SSE
+            ``Last-Event-ID``) instead of re-reading the whole feed.
     """
 
     time_s: float
@@ -36,10 +40,17 @@ class JobEvent:
     kind: str
     phase: str = ""
     detail: Dict[str, object] = field(default_factory=dict)
+    seq: int = 0
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this event ends the job's feed."""
+        return self.kind in ("completed", "failed", "cancelled")
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly form of the event."""
         return {
+            "seq": self.seq,
             "time_s": self.time_s,
             "job_id": self.job_id,
             "kind": self.kind,

@@ -100,10 +100,10 @@ class TransferJob:
 
     def emit(self, kind: str, time_s: float, phase: str = "",
              detail: Optional[Dict[str, object]] = None) -> JobEvent:
-        """Append one event to the job's feed."""
+        """Append one event to the job's feed (assigning its ``seq``)."""
         event = JobEvent(
             time_s=time_s, job_id=self.job_id, kind=kind, phase=phase,
-            detail=dict(detail or {}),
+            detail=dict(detail or {}), seq=len(self.events) + 1,
         )
         self.events.append(event)
         return event
@@ -176,9 +176,18 @@ class JobHandle:
         """Submit-to-finish span on the simulated timeline."""
         return self._job.makespan_s
 
-    def events(self) -> List[JobEvent]:
-        """The job's structured event feed so far (time-ordered)."""
-        return list(self._job.events)
+    def events(self, since_seq: int = 0) -> List[JobEvent]:
+        """The job's structured event feed so far (time-ordered).
+
+        ``since_seq`` returns only events *after* that sequence number,
+        so resuming consumers (pollers, the gateway's SSE stream after a
+        ``Last-Event-ID`` reconnect) never replay what they already saw.
+        The feed is append-only and ``seq`` is 1-based and contiguous,
+        so this is a plain slice, not a scan.
+        """
+        if since_seq <= 0:
+            return list(self._job.events)
+        return self._job.events[since_seq:]
 
     def timeline(self) -> List[PhaseSpan]:
         """Scheduled phase spans (with cross-job contention applied)."""

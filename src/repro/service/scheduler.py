@@ -199,6 +199,14 @@ class JobScheduler:
         """Admitted, non-terminal jobs the tenant currently holds."""
         return self._tenant_in_flight.get(tenant, 0)
 
+    def in_flight(self) -> Dict[str, int]:
+        """Admitted, non-terminal job counts per tenant (metrics view)."""
+        return {t: n for t, n in self._tenant_in_flight.items() if n > 0}
+
+    def admission_depths(self) -> Dict[str, int]:
+        """Jobs parked in each tenant's admission queue (metrics view)."""
+        return {t: len(q) for t, q in self._admission.items() if q}
+
     def _fits_quota(self, job: TransferJob) -> bool:
         quota = self._quotas.get(job.tenant)
         if quota is None:

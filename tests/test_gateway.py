@@ -1,0 +1,513 @@
+"""Live-server tests for the HTTP gateway.
+
+Every test that speaks HTTP boots a real :class:`~repro.gateway.Gateway`
+on an ephemeral port (stdlib ``ThreadingHTTPServer``) and drives it with
+stdlib ``urllib`` — the same path external clients use.  Covered
+contracts:
+
+* REST submit/list/status/cancel with reports identical to direct
+  in-process ``OcelotService.submit()`` runs, including under
+  concurrent HTTP submitters;
+* structured error mapping — malformed specs 400 with machine-readable
+  codes, quota violations 429, unknown jobs/groups 404;
+* plan groups validate every spec before admitting any;
+* the SSE stream reproduces a job's full ``JobEvent`` timeline (live
+  and after the fact) and resumes from ``Last-Event-ID``;
+* the per-job event ``seq`` / ``events(since_seq=...)`` satellite and
+  the CLI's gateway-aware ``jobs --url`` / failed-status exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import OcelotConfig
+from repro.datasets import generate_application
+from repro.errors import AdmissionError, ConfigurationError, OrchestrationError
+from repro.gateway import EventBus, create_gateway, spec_from_payload
+from repro.service import OcelotService, TenantQuota, TransferSpec
+from repro.service.events import JobEvent
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+RECIPE = {
+    "application": "miranda",
+    "snapshots": 1,
+    "scale": 0.03,
+    "seed": 4,
+    "fields": ["density", "pressure"],
+}
+SPEC_JSON = {
+    "dataset": RECIPE,
+    "source": "anvil",
+    "destination": "cori",
+    "mode": "compressed",
+}
+
+
+def _config(**kwargs):
+    """Deterministic config: assumed throughputs instead of wall time."""
+    defaults = dict(
+        error_bound=1e-3,
+        compressor="sz3-fast",
+        mode="compressed",
+        sentinel_enabled=False,
+        compression_nodes=2,
+        decompression_nodes=2,
+        size_scale=20_000.0,
+        assumed_compression_throughput_mbps=300.0,
+        assumed_decompression_throughput_mbps=500.0,
+    )
+    defaults.update(kwargs)
+    return OcelotConfig(**defaults)
+
+
+@pytest.fixture()
+def gateway():
+    gw = create_gateway(config=_config()).start()
+    yield gw
+    gw.stop()
+
+
+# --------------------------------------------------------------------- #
+# Tiny stdlib HTTP client
+# --------------------------------------------------------------------- #
+def _get(base: str, path: str, timeout: float = 30.0):
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return response.status, json.load(response)
+
+
+def _post(base: str, path: str, payload=None, timeout: float = 60.0):
+    data = b"" if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        base + path, data=data, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.load(response)
+
+
+def _expect_error(callable_, code: str, status: int):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    assert excinfo.value.code == status
+    payload = json.load(excinfo.value)
+    assert payload["code"] == code
+    return payload
+
+
+def _sse(base: str, path: str, last_event_id=None, timeout: float = 30.0):
+    """Read one SSE stream to completion; returns parsed frames."""
+    headers = {}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    request = urllib.request.Request(base + path, headers=headers)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.headers["Content-Type"] == "text/event-stream"
+        body = response.read().decode()
+    frames = []
+    for chunk in body.split("\n\n"):
+        lines = [ln for ln in chunk.split("\n") if ln and not ln.startswith(":")]
+        if not lines:
+            continue
+        frame = {}
+        for line in lines:
+            key, _, value = line.partition(": ")
+            frame[key] = value
+        frames.append(frame)
+    return frames
+
+
+def _dicts_close(a, b, rel=1e-9):
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_dicts_close(a[k], b[k], rel) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_dicts_close(x, y, rel) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return a == pytest.approx(b, rel=rel, abs=1e-12)
+    return a == b
+
+
+def _solo_report() -> dict:
+    """Reference report of the same spec run directly in-process."""
+    service = OcelotService(_config())
+    handle = service.submit(spec_from_payload(SPEC_JSON))
+    return handle.result().as_dict()
+
+
+# --------------------------------------------------------------------- #
+class TestRestJobControl:
+    def test_healthz(self, gateway):
+        status, payload = _get(gateway.url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_submit_runs_to_completion_with_solo_identical_report(self, gateway):
+        status, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        assert status == 201
+        assert record["status"] in ("pending", "running", "completed")
+        job_id = record["job_id"]
+        status, record = _get(gateway.url, f"/v1/jobs/{job_id}/wait?timeout=60")
+        assert status == 200
+        assert record["status"] == "completed"
+        status, full = _get(gateway.url, f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert _dicts_close(full["report"], _solo_report())
+        kinds = [event["kind"] for event in full["events"]]
+        assert kinds[0] == "submitted" and kinds[-1] == "completed"
+
+    def test_concurrent_http_submitters(self, gateway):
+        n_jobs, results, errors = 8, [], []
+
+        def submit_one():
+            try:
+                _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+                _, final = _get(
+                    gateway.url, f"/v1/jobs/{record['job_id']}/wait?timeout=120",
+                    timeout=130.0,
+                )
+                results.append(final)
+            except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit_one) for _ in range(n_jobs)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors
+        assert len(results) == n_jobs
+        assert all(record["status"] == "completed" for record in results)
+        # Scheduling policy moves timelines, never results: every job's
+        # report matches a solo in-process run of the same spec.
+        solo = _solo_report()
+        for record in results:
+            _, full = _get(gateway.url, f"/v1/jobs/{record['job_id']}")
+            assert _dicts_close(full["report"], solo)
+
+    def test_list_jobs_and_tenant_filter(self, gateway):
+        _post(gateway.url, "/v1/jobs", {**SPEC_JSON, "tenant": "astro"})
+        _post(gateway.url, "/v1/jobs", {**SPEC_JSON, "tenant": "climate"})
+        status, payload = _get(gateway.url, "/v1/jobs")
+        assert status == 200 and payload["count"] == 2
+        assert all("events" not in record for record in payload["jobs"])
+        status, payload = _get(gateway.url, "/v1/jobs?tenant=astro")
+        assert payload["count"] == 1
+        assert payload["jobs"][0]["tenant"] == "astro"
+
+    def test_cancel_via_http(self, gateway):
+        gateway.driver.pause()  # keep the job queued so cancel is deterministic
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        status, cancelled = _post(
+            gateway.url, f"/v1/jobs/{record['job_id']}/cancel"
+        )
+        gateway.driver.resume()
+        assert status == 200
+        assert cancelled["cancelled"] is True
+        assert cancelled["status"] == "cancelled"
+        # Cancelling an already-terminal job reports cancelled=False.
+        status, again = _post(gateway.url, f"/v1/jobs/{record['job_id']}/cancel")
+        assert status == 200 and again["cancelled"] is False
+
+    def test_wait_timeout_returns_408(self, gateway):
+        gateway.driver.pause()
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(gateway.url, f"/v1/jobs/{record['job_id']}/wait?timeout=0.2")
+        assert excinfo.value.code == 408
+        assert json.load(excinfo.value)["timed_out"] is True
+        gateway.driver.resume()
+
+    def test_metricsz(self, gateway):
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        _get(gateway.url, f"/v1/jobs/{record['job_id']}/wait?timeout=60")
+        status, metrics = _get(gateway.url, "/metricsz")
+        assert status == 200
+        assert metrics["jobs"]["total"] == 1
+        assert metrics["jobs"]["completed"] == 1
+        assert metrics["jobs_per_sec"]["simulated"] > 0
+        assert metrics["queue_depths"]["admission_total"] == 0
+        assert "in_flight" in metrics["tenants"]
+        assert metrics["bus"]["published"] > 0
+        assert metrics["http"]["requests"]["POST /v1/jobs"] == 1
+
+
+class TestErrorMapping:
+    def test_malformed_specs_are_400(self, gateway):
+        bad_specs = [
+            ({}, "invalid_request"),  # no dataset
+            ({**SPEC_JSON, "warp": 9}, "invalid_request"),  # unknown field
+            ({**SPEC_JSON, "dataset": {"application": "doom"}}, "invalid_dataset"),
+            ({**SPEC_JSON, "mode": "hyperspeed"}, "invalid_request"),
+            ({**SPEC_JSON, "destination": "summit"}, "invalid_request"),
+            ({**SPEC_JSON, "priority": "extreme"}, "invalid_request"),
+            ({**SPEC_JSON, "overrides": {"warp_factor": 9}}, "invalid_config"),
+        ]
+        for payload, code in bad_specs:
+            _expect_error(
+                lambda payload=payload: _post(gateway.url, "/v1/jobs", payload),
+                code=code, status=400,
+            )
+        # A failed validation admits nothing.
+        _, listing = _get(gateway.url, "/v1/jobs")
+        assert listing["count"] == 0
+
+    def test_bad_json_body_is_400(self, gateway):
+        request = urllib.request.Request(
+            gateway.url + "/v1/jobs", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert json.load(excinfo.value)["code"] == "bad_json"
+
+    def test_quota_violation_is_429(self):
+        gw = create_gateway(
+            config=_config(),
+            quotas={"small": TenantQuota(max_nodes=1)},
+        ).start()
+        try:
+            payload = _expect_error(
+                lambda: _post(gw.url, "/v1/jobs",
+                              {**SPEC_JSON, "tenant": "small"}),
+                code="admission_quota_exceeded", status=429,
+            )
+            assert "small" in payload["error"]
+        finally:
+            gw.stop()
+
+    def test_unknown_job_is_404(self, gateway):
+        for call in (
+            lambda: _get(gateway.url, "/v1/jobs/job-9999"),
+            lambda: _post(gateway.url, "/v1/jobs/job-9999/cancel"),
+            lambda: _sse(gateway.url, "/v1/jobs/job-9999/events"),
+        ):
+            _expect_error(call, code="unknown_job", status=404)
+        _expect_error(
+            lambda: _get(gateway.url, "/v1/plan-groups/pg-9999"),
+            code="unknown_plan_group", status=404,
+        )
+
+    def test_unknown_route_is_404(self, gateway):
+        _expect_error(lambda: _get(gateway.url, "/v2/nope"),
+                      code="not_found", status=404)
+
+
+class TestPlanGroups:
+    def test_group_fans_out_and_completes(self, gateway):
+        status, group = _post(
+            gateway.url, "/v1/plan-groups",
+            {"jobs": [SPEC_JSON] * 4, "label": "batch"},
+        )
+        assert status == 201
+        assert group["total"] == 4
+        for job_id in group["jobs"]:
+            _get(gateway.url, f"/v1/jobs/{job_id}/wait?timeout=120", timeout=130.0)
+        status, final = _get(gateway.url, f"/v1/plan-groups/{group['group_id']}")
+        assert final["status"] == "completed"
+        assert final["status_counts"] == {"completed": 4}
+        solo = _solo_report()
+        for job_id in group["jobs"]:
+            _, full = _get(gateway.url, f"/v1/jobs/{job_id}")
+            assert _dicts_close(full["report"], solo)
+
+    def test_group_validates_every_spec_before_admitting_any(self, gateway):
+        bad_batch = [SPEC_JSON, SPEC_JSON,
+                     {**SPEC_JSON, "destination": "summit"}]
+        payload = _expect_error(
+            lambda: _post(gateway.url, "/v1/plan-groups", {"jobs": bad_batch}),
+            code="invalid_request", status=400,
+        )
+        assert "spec #2" in payload["error"]
+        _, listing = _get(gateway.url, "/v1/jobs")
+        assert listing["count"] == 0  # nothing admitted
+        _, groups = _get(gateway.url, "/v1/plan-groups")
+        assert groups["count"] == 0
+
+    def test_group_quota_reject_is_atomic(self):
+        gw = create_gateway(
+            config=_config(),
+            quotas={"small": TenantQuota(max_nodes=1)},
+        ).start()
+        try:
+            batch = [SPEC_JSON, {**SPEC_JSON, "tenant": "small"}]
+            _expect_error(
+                lambda: _post(gw.url, "/v1/plan-groups", {"jobs": batch}),
+                code="admission_quota_exceeded", status=429,
+            )
+            _, listing = _get(gw.url, "/v1/jobs")
+            assert listing["count"] == 0
+        finally:
+            gw.stop()
+
+
+class TestServerSentEvents:
+    def _completed_job(self, gateway):
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        _get(gateway.url, f"/v1/jobs/{record['job_id']}/wait?timeout=60")
+        return record["job_id"]
+
+    def test_stream_of_completed_job_equals_event_feed(self, gateway):
+        job_id = self._completed_job(gateway)
+        frames = _sse(gateway.url, f"/v1/jobs/{job_id}/events")
+        feed = gateway.driver.events_since(job_id)
+        assert [json.loads(frame["data"]) for frame in frames] == [
+            event.as_dict() for event in feed
+        ]
+        assert [int(frame["id"]) for frame in frames] == [e.seq for e in feed]
+        assert frames[-1]["event"] == "completed"
+
+    def test_last_event_id_resume(self, gateway):
+        job_id = self._completed_job(gateway)
+        full = _sse(gateway.url, f"/v1/jobs/{job_id}/events")
+        middle = int(full[len(full) // 2]["id"])
+        resumed = _sse(gateway.url, f"/v1/jobs/{job_id}/events",
+                       last_event_id=middle)
+        assert [frame["id"] for frame in resumed] == [
+            frame["id"] for frame in full if int(frame["id"]) > middle
+        ]
+        # Prefix + resumed tail reproduces the entire timeline.
+        prefix = [frame for frame in full if int(frame["id"]) <= middle]
+        assert [f["data"] for f in prefix + resumed] == [f["data"] for f in full]
+        # The ?since= query form behaves identically.
+        assert resumed == _sse(gateway.url,
+                               f"/v1/jobs/{job_id}/events?since={middle}")
+
+    def test_live_stream_follows_running_job(self, gateway):
+        gateway.driver.pause()
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        job_id = record["job_id"]
+        frames, errors = [], []
+
+        def stream():
+            try:
+                frames.extend(_sse(gateway.url, f"/v1/jobs/{job_id}/events",
+                                   timeout=60))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        reader = threading.Thread(target=stream)
+        reader.start()
+        gateway.driver.resume()
+        reader.join(timeout=120)
+        assert not reader.is_alive() and not errors
+        feed = gateway.driver.events_since(job_id)
+        assert [json.loads(frame["data"]) for frame in frames] == [
+            event.as_dict() for event in feed
+        ]
+        assert frames[-1]["event"] == "completed"
+
+
+class TestEventSeqSatellite:
+    """The per-job monotonic seq + events(since_seq=...) resume API."""
+
+    def test_seq_is_contiguous_and_serialised(self):
+        service = OcelotService(_config())
+        dataset = generate_application(**RECIPE)
+        handle = service.submit(TransferSpec(
+            dataset=dataset, source="anvil", destination="cori"))
+        handle.wait()
+        feed = handle.events()
+        assert [event.seq for event in feed] == list(range(1, len(feed) + 1))
+        assert all(event.as_dict()["seq"] == event.seq for event in feed)
+
+    def test_events_since_seq_slices_the_feed(self):
+        service = OcelotService(_config())
+        dataset = generate_application(**RECIPE)
+        handle = service.submit(TransferSpec(
+            dataset=dataset, source="anvil", destination="cori"))
+        handle.wait()
+        feed = handle.events()
+        assert handle.events(since_seq=0) == feed
+        assert handle.events(since_seq=feed[2].seq) == feed[3:]
+        assert handle.events(since_seq=feed[-1].seq) == []
+
+    def test_error_codes_are_machine_readable(self):
+        assert AdmissionError("x").code == "admission_quota_exceeded"
+        assert OrchestrationError("x").code == "invalid_request"
+        assert ConfigurationError("x").code == "invalid_config"
+        payload = AdmissionError("over quota").as_payload()
+        assert payload == {"error": "over quota",
+                           "code": "admission_quota_exceeded",
+                           "type": "AdmissionError"}
+
+
+class TestEventBus:
+    def test_bounded_queue_drops_oldest(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxsize=2)
+        events = [JobEvent(time_s=float(i), job_id="j", kind="k", seq=i + 1)
+                  for i in range(5)]
+        bus.publish_all(events)
+        assert sub.dropped == 3
+        assert bus.dropped == 3
+        delivered = [sub.get(timeout=0.1) for _ in range(2)]
+        assert [event.seq for event in delivered] == [4, 5]
+
+    def test_job_scoped_subscription(self):
+        bus = EventBus()
+        sub = bus.subscribe(job_id="job-a")
+        bus.publish(JobEvent(time_s=0.0, job_id="job-b", kind="k", seq=1))
+        bus.publish(JobEvent(time_s=0.0, job_id="job-a", kind="k", seq=1))
+        event = sub.get(timeout=0.1)
+        assert event.job_id == "job-a"
+        assert sub.get(timeout=0.05) is None
+
+    def test_close_wakes_subscribers(self):
+        from repro.gateway.bus import CLOSED
+
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.close()
+        assert sub.get(timeout=0.1) is CLOSED
+        late = bus.subscribe()
+        assert late.get(timeout=0.1) is CLOSED
+
+
+class TestGatewayCLI:
+    def test_jobs_url_lists_live_gateway(self, gateway, capsys):
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        _get(gateway.url, f"/v1/jobs/{record['job_id']}/wait?timeout=60")
+        assert cli_main(["jobs", "--url", gateway.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"][0]["job_id"] == record["job_id"]
+        assert payload["jobs"][0]["status"] == "completed"
+
+    def test_status_url_reads_live_gateway(self, gateway, capsys):
+        _, record = _post(gateway.url, "/v1/jobs", SPEC_JSON)
+        _get(gateway.url, f"/v1/jobs/{record['job_id']}/wait?timeout=60")
+        assert cli_main(
+            ["status", record["job_id"], "--url", gateway.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "completed"
+        assert payload["events"][0]["kind"] == "submitted"
+
+    def test_status_exits_nonzero_for_failed_job(self, tmp_path, capsys):
+        state = tmp_path / "jobs.json"
+        state.write_text(json.dumps({"jobs": [
+            {"job_id": "job-0001", "status": "failed", "error": "boom"},
+            {"job_id": "job-0002", "status": "completed"},
+        ]}))
+        assert cli_main(["status", "job-0001", "--state", str(state)]) == 2
+        assert cli_main(
+            ["status", "job-0001", "--state", str(state), "--json"]) == 2
+        assert cli_main(["status", "job-0002", "--state", str(state)]) == 0
+        capsys.readouterr()
+
+    def test_serve_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000"])
+        assert args.command == "serve"
+        assert args.port == 9000
